@@ -1,0 +1,30 @@
+"""ABL-ENGINE — the framework's generic bounded-cost search vs a dynamic program.
+
+The generic similarity engine answers "is A within edit cost c of B?" for any
+rule set, but pays for that generality; the dynamic program exploits the
+structure of edit operations.  This ablation measures both on the same string
+pairs (the test suite asserts they agree on the answer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.distance import transformation_edit_distance, weighted_edit_distance
+
+PAIRS = [("cabab", "bacba"), ("abcd", "bcda"), ("query", "quarry")]
+
+
+@pytest.mark.benchmark(group="ablation-engine-vs-dp")
+def bench_dynamic_program(benchmark):
+    benchmark(lambda: [weighted_edit_distance(a, b) for a, b in PAIRS])
+
+
+@pytest.mark.benchmark(group="ablation-engine-vs-dp")
+def bench_generic_engine(benchmark):
+    benchmark(lambda: [transformation_edit_distance(a, b) for a, b in PAIRS])
+
+
+@pytest.mark.benchmark(group="ablation-engine-vs-dp-single")
+def bench_generic_engine_bounded_cost(benchmark):
+    benchmark(lambda: transformation_edit_distance("query", "quarry", cost_bound=3.0))

@@ -1,0 +1,49 @@
+"""ABL-K — query time as a function of the number of indexed coefficients.
+
+More coefficients mean a wider index (more dimensions per node) but fewer
+false hits to postprocess; this ablation benchmarks a range query at k=1, 2
+and 4 on the same data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import synthetic_workload
+
+
+def _workload(k: int):
+    return synthetic_workload(250, 128, seed=31, num_coefficients=k)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {k: _workload(k) for k in (1, 2, 4)}
+
+
+def _epsilon(workload) -> float:
+    result = workload.scan.range_query(workload.queries[0], float("inf"),
+                                       early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 50)]
+
+
+@pytest.mark.benchmark(group="ablation-k")
+def bench_range_query_k1(benchmark, workloads):
+    workload = workloads[1]
+    epsilon = _epsilon(workload)
+    benchmark(lambda: workload.index.range_query(workload.queries[0], epsilon))
+
+
+@pytest.mark.benchmark(group="ablation-k")
+def bench_range_query_k2(benchmark, workloads):
+    workload = workloads[2]
+    epsilon = _epsilon(workload)
+    benchmark(lambda: workload.index.range_query(workload.queries[0], epsilon))
+
+
+@pytest.mark.benchmark(group="ablation-k")
+def bench_range_query_k4(benchmark, workloads):
+    workload = workloads[4]
+    epsilon = _epsilon(workload)
+    benchmark(lambda: workload.index.range_query(workload.queries[0], epsilon))

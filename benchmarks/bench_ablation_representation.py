@@ -1,0 +1,50 @@
+"""ABL-REP — polar vs rectangular feature layout.
+
+The polar layout makes complex multipliers safe (so moving averages can be
+pushed into the index) at the price of a slightly looser search rectangle;
+the rectangular layout is benchmarked with the identity transformation only,
+because a complex multiplier cannot be pushed into it at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import synthetic_workload
+
+
+@pytest.fixture(scope="module")
+def polar_workload():
+    return synthetic_workload(250, 128, seed=37, representation="polar")
+
+
+@pytest.fixture(scope="module")
+def rectangular_workload():
+    return synthetic_workload(250, 128, seed=37, representation="rectangular")
+
+
+def _epsilon(workload) -> float:
+    result = workload.scan.range_query(workload.queries[0], float("inf"),
+                                       early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 50)]
+
+
+@pytest.mark.benchmark(group="ablation-representation")
+def bench_polar_identity(benchmark, polar_workload):
+    epsilon = _epsilon(polar_workload)
+    benchmark(lambda: polar_workload.index.range_query(polar_workload.queries[0], epsilon))
+
+
+@pytest.mark.benchmark(group="ablation-representation")
+def bench_rectangular_identity(benchmark, rectangular_workload):
+    epsilon = _epsilon(rectangular_workload)
+    benchmark(lambda: rectangular_workload.index.range_query(
+        rectangular_workload.queries[0], epsilon))
+
+
+@pytest.mark.benchmark(group="ablation-representation")
+def bench_polar_moving_average(benchmark, polar_workload, mavg20_128):
+    epsilon = _epsilon(polar_workload)
+    benchmark(lambda: polar_workload.index.range_query(
+        polar_workload.queries[0], epsilon, transformation=mavg20_128))

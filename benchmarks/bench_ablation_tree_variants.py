@@ -1,0 +1,74 @@
+"""ABL-TREE — R-tree split policies vs the R*-tree.
+
+Benchmarks both construction (insert everything) and a batch of window
+queries for the linear-split R-tree, the quadratic-split R-tree and the
+R*-tree on the same clustered point set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.geometry import Rect
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def point_set():
+    rng = np.random.default_rng(41)
+    uniform = rng.uniform(0, 100, size=(600, 6))
+    centers = rng.uniform(0, 100, size=(10, 6))
+    clustered = centers[rng.integers(0, 10, size=600)] + rng.normal(0, 2.0, size=(600, 6))
+    return np.vstack([uniform, clustered])
+
+
+@pytest.fixture(scope="module")
+def windows():
+    rng = np.random.default_rng(42)
+    result = []
+    for _ in range(20):
+        low = rng.uniform(0, 90, size=6)
+        result.append(Rect(low, low + 10.0))
+    return result
+
+
+def _build(factory, points):
+    tree = factory()
+    for i, point in enumerate(points):
+        tree.insert(point, i)
+    return tree
+
+
+@pytest.mark.benchmark(group="ablation-tree-build")
+def bench_build_rtree_linear(benchmark, point_set):
+    benchmark(lambda: _build(lambda: RTree(6, split="linear"), point_set))
+
+
+@pytest.mark.benchmark(group="ablation-tree-build")
+def bench_build_rtree_quadratic(benchmark, point_set):
+    benchmark(lambda: _build(lambda: RTree(6, split="quadratic"), point_set))
+
+
+@pytest.mark.benchmark(group="ablation-tree-build")
+def bench_build_rstar(benchmark, point_set):
+    benchmark(lambda: _build(lambda: RStarTree(6), point_set))
+
+
+@pytest.mark.benchmark(group="ablation-tree-search")
+def bench_search_rtree_linear(benchmark, point_set, windows):
+    tree = _build(lambda: RTree(6, split="linear"), point_set)
+    benchmark(lambda: [tree.search(window) for window in windows])
+
+
+@pytest.mark.benchmark(group="ablation-tree-search")
+def bench_search_rtree_quadratic(benchmark, point_set, windows):
+    tree = _build(lambda: RTree(6, split="quadratic"), point_set)
+    benchmark(lambda: [tree.search(window) for window in windows])
+
+
+@pytest.mark.benchmark(group="ablation-tree-search")
+def bench_search_rstar(benchmark, point_set, windows):
+    tree = _build(lambda: RStarTree(6), point_set)
+    benchmark(lambda: [tree.search(window) for window in windows])

@@ -1,0 +1,47 @@
+"""EX21-23 — the Section 2 distance trajectories as micro-benchmarks.
+
+Times the transformation pipeline behind Examples 2.1-2.3 (normal form,
+20-day moving average, reversal) plus the underlying DFT, so regressions in
+the transformation code path show up even when query benchmarks are dominated
+by tree traversal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import section2_distance_trajectories
+from repro.timeseries.normalform import normalize
+from repro.timeseries.stockdata import bba_ztr_like_pair
+from repro.timeseries.transforms import moving_average_spectral, reverse_spectral
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return bba_ztr_like_pair(128)
+
+
+@pytest.mark.benchmark(group="section2-pipeline")
+def bench_normal_form(benchmark, pair):
+    bba, _ = pair
+    benchmark(lambda: normalize(bba))
+
+
+@pytest.mark.benchmark(group="section2-pipeline")
+def bench_moving_average_apply(benchmark, pair, mavg20_128):
+    bba, _ = pair
+    normal = normalize(bba).series
+    benchmark(lambda: mavg20_128.apply(normal))
+
+
+@pytest.mark.benchmark(group="section2-pipeline")
+def bench_reverse_then_smooth(benchmark, pair, mavg20_128):
+    bba, _ = pair
+    combined = reverse_spectral(128).compose(mavg20_128)
+    normal = normalize(bba).series
+    benchmark(lambda: combined.apply(normal))
+
+
+@pytest.mark.benchmark(group="section2-trajectories")
+def bench_full_section2_table(benchmark):
+    benchmark(lambda: section2_distance_trajectories(length=64, window=10))

@@ -1,0 +1,53 @@
+"""FIG10 — index-with-transformation vs sequential scan, by sequence length.
+
+The paper's Figure 10 shows the index staying flat while the sequential scan
+grows with the sequence length; both apply the moving-average transformation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timeseries.transforms import moving_average_spectral
+
+
+def _epsilon(workload, transformation) -> float:
+    result = workload.scan.range_query(workload.queries[0], float("inf"),
+                                       transformation=transformation,
+                                       early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 100)]
+
+
+@pytest.mark.benchmark(group="fig10-length-128")
+def bench_index_mavg_length_128(benchmark, small_workload, mavg20_128):
+    epsilon = _epsilon(small_workload, mavg20_128)
+    query = small_workload.queries[2]
+    benchmark(lambda: small_workload.index.range_query(query, epsilon,
+                                                       transformation=mavg20_128))
+
+
+@pytest.mark.benchmark(group="fig10-length-128")
+def bench_scan_mavg_length_128(benchmark, small_workload, mavg20_128):
+    epsilon = _epsilon(small_workload, mavg20_128)
+    query = small_workload.queries[2]
+    benchmark(lambda: small_workload.scan.range_query(query, epsilon,
+                                                      transformation=mavg20_128))
+
+
+@pytest.mark.benchmark(group="fig10-length-512")
+def bench_index_mavg_length_512(benchmark, long_series_workload):
+    transformation = moving_average_spectral(512, 20)
+    epsilon = _epsilon(long_series_workload, transformation)
+    query = long_series_workload.queries[2]
+    benchmark(lambda: long_series_workload.index.range_query(
+        query, epsilon, transformation=transformation))
+
+
+@pytest.mark.benchmark(group="fig10-length-512")
+def bench_scan_mavg_length_512(benchmark, long_series_workload):
+    transformation = moving_average_spectral(512, 20)
+    epsilon = _epsilon(long_series_workload, transformation)
+    query = long_series_workload.queries[2]
+    benchmark(lambda: long_series_workload.scan.range_query(
+        query, epsilon, transformation=transformation))

@@ -1,0 +1,50 @@
+"""FIG11 — index-with-transformation vs sequential scan, by number of sequences.
+
+The paper's Figure 11 fixes the length at 128, grows the relation from 500 to
+12,000 sequences, and shows the scan growing linearly while the index barely
+moves.  The benchmark pairs a 300-series and a 1,200-series relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _epsilon(workload, transformation) -> float:
+    result = workload.scan.range_query(workload.queries[0], float("inf"),
+                                       transformation=transformation,
+                                       early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 100)]
+
+
+@pytest.mark.benchmark(group="fig11-300-series")
+def bench_index_mavg_300(benchmark, small_workload, mavg20_128):
+    epsilon = _epsilon(small_workload, mavg20_128)
+    query = small_workload.queries[3]
+    benchmark(lambda: small_workload.index.range_query(query, epsilon,
+                                                       transformation=mavg20_128))
+
+
+@pytest.mark.benchmark(group="fig11-300-series")
+def bench_scan_mavg_300(benchmark, small_workload, mavg20_128):
+    epsilon = _epsilon(small_workload, mavg20_128)
+    query = small_workload.queries[3]
+    benchmark(lambda: small_workload.scan.range_query(query, epsilon,
+                                                      transformation=mavg20_128))
+
+
+@pytest.mark.benchmark(group="fig11-1200-series")
+def bench_index_mavg_1200(benchmark, large_count_workload, mavg20_128):
+    epsilon = _epsilon(large_count_workload, mavg20_128)
+    query = large_count_workload.queries[3]
+    benchmark(lambda: large_count_workload.index.range_query(
+        query, epsilon, transformation=mavg20_128))
+
+
+@pytest.mark.benchmark(group="fig11-1200-series")
+def bench_scan_mavg_1200(benchmark, large_count_workload, mavg20_128):
+    epsilon = _epsilon(large_count_workload, mavg20_128)
+    query = large_count_workload.queries[3]
+    benchmark(lambda: large_count_workload.scan.range_query(
+        query, epsilon, transformation=mavg20_128))

@@ -1,0 +1,48 @@
+"""FIG12 — query time vs answer-set size on the stock archive.
+
+The paper's Figure 12 sweeps the range threshold so the answer set grows from
+a handful of series to a third of the relation; the index wins for small
+answer sets and the scan catches up as the answer set approaches one third of
+the relation.  The benchmarks sample both ends of the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _thresholds(workload) -> tuple[float, float]:
+    query = workload.queries[0]
+    result = workload.scan.range_query(query, float("inf"), early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    small = distances[max(1, len(distances) // 100)]
+    large = distances[int(0.4 * len(distances))]
+    return small, large
+
+
+@pytest.mark.benchmark(group="fig12-small-answer-set")
+def bench_index_small_answer_set(benchmark, stock_archive_workload):
+    small, _ = _thresholds(stock_archive_workload)
+    query = stock_archive_workload.queries[0]
+    benchmark(lambda: stock_archive_workload.index.range_query(query, small))
+
+
+@pytest.mark.benchmark(group="fig12-small-answer-set")
+def bench_scan_small_answer_set(benchmark, stock_archive_workload):
+    small, _ = _thresholds(stock_archive_workload)
+    query = stock_archive_workload.queries[0]
+    benchmark(lambda: stock_archive_workload.scan.range_query(query, small))
+
+
+@pytest.mark.benchmark(group="fig12-large-answer-set")
+def bench_index_large_answer_set(benchmark, stock_archive_workload):
+    _, large = _thresholds(stock_archive_workload)
+    query = stock_archive_workload.queries[0]
+    benchmark(lambda: stock_archive_workload.index.range_query(query, large))
+
+
+@pytest.mark.benchmark(group="fig12-large-answer-set")
+def bench_scan_large_answer_set(benchmark, stock_archive_workload):
+    _, large = _thresholds(stock_archive_workload)
+    query = stock_archive_workload.queries[0]
+    benchmark(lambda: stock_archive_workload.scan.range_query(query, large))

@@ -1,0 +1,52 @@
+"""FIG8 — range-query time, index with vs without a transformation, by length.
+
+The paper's Figure 8 varies the sequence length (64 to 1024) with 1,000
+sequences and shows the two curves differ only by a constant (the CPU cost of
+the multiplication); the number of disk accesses is identical.  These
+benchmarks measure the same pair of queries at two sequence lengths; the
+node-access equality is asserted by ``tests/test_bench.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timeseries.transforms import identity_spectral
+
+
+def _epsilon(workload) -> float:
+    result = workload.scan.range_query(workload.queries[0], float("inf"),
+                                       early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 100)]
+
+
+@pytest.mark.benchmark(group="fig8-length-128")
+def bench_with_transformation_length_128(benchmark, small_workload, identity128):
+    epsilon = _epsilon(small_workload)
+    query = small_workload.queries[0]
+    benchmark(lambda: small_workload.index.range_query(query, epsilon,
+                                                       transformation=identity128))
+
+
+@pytest.mark.benchmark(group="fig8-length-128")
+def bench_without_transformation_length_128(benchmark, small_workload):
+    epsilon = _epsilon(small_workload)
+    query = small_workload.queries[0]
+    benchmark(lambda: small_workload.index.range_query(query, epsilon))
+
+
+@pytest.mark.benchmark(group="fig8-length-512")
+def bench_with_transformation_length_512(benchmark, long_series_workload):
+    epsilon = _epsilon(long_series_workload)
+    query = long_series_workload.queries[0]
+    identity = identity_spectral(512)
+    benchmark(lambda: long_series_workload.index.range_query(query, epsilon,
+                                                             transformation=identity))
+
+
+@pytest.mark.benchmark(group="fig8-length-512")
+def bench_without_transformation_length_512(benchmark, long_series_workload):
+    epsilon = _epsilon(long_series_workload)
+    query = long_series_workload.queries[0]
+    benchmark(lambda: long_series_workload.index.range_query(query, epsilon))

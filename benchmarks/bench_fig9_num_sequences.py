@@ -1,0 +1,47 @@
+"""FIG9 — range-query time, index with vs without a transformation, by data size.
+
+The paper's Figure 9 fixes the length at 128 and varies the number of
+sequences from 500 to 12,000: the two curves again track each other.  The
+benchmarks compare a 300-series and a 1,200-series index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _epsilon(workload) -> float:
+    result = workload.scan.range_query(workload.queries[0], float("inf"),
+                                       early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 100)]
+
+
+@pytest.mark.benchmark(group="fig9-300-series")
+def bench_with_transformation_300(benchmark, small_workload, identity128):
+    epsilon = _epsilon(small_workload)
+    query = small_workload.queries[1]
+    benchmark(lambda: small_workload.index.range_query(query, epsilon,
+                                                       transformation=identity128))
+
+
+@pytest.mark.benchmark(group="fig9-300-series")
+def bench_without_transformation_300(benchmark, small_workload):
+    epsilon = _epsilon(small_workload)
+    query = small_workload.queries[1]
+    benchmark(lambda: small_workload.index.range_query(query, epsilon))
+
+
+@pytest.mark.benchmark(group="fig9-1200-series")
+def bench_with_transformation_1200(benchmark, large_count_workload, identity128):
+    epsilon = _epsilon(large_count_workload)
+    query = large_count_workload.queries[1]
+    benchmark(lambda: large_count_workload.index.range_query(query, epsilon,
+                                                             transformation=identity128))
+
+
+@pytest.mark.benchmark(group="fig9-1200-series")
+def bench_without_transformation_1200(benchmark, large_count_workload):
+    epsilon = _epsilon(large_count_workload)
+    query = large_count_workload.queries[1]
+    benchmark(lambda: large_count_workload.index.range_query(query, epsilon))

@@ -1,0 +1,61 @@
+"""TAB1 — the spatial self-join, four evaluation methods.
+
+The paper's Table 1 joins 1067 stock series with themselves under the 20-day
+moving average: the naive scan (a) takes ~20 minutes, the early-abandoning
+scan (b) ~2.5 minutes, index probes without the transformation (c) ~10
+seconds and with it (d) ~18 seconds.  The benchmark reproduces the four
+methods on a 150-series slice (each pytest-benchmark round runs the full
+join, so the paper-size relation would take far too long here; the full-size
+run is available via ``python -m repro.bench.harness table1 --paper-scale``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import stock_workload
+from repro.timeseries.stockdata import StockArchiveConfig
+from repro.timeseries.transforms import moving_average_spectral
+
+
+@pytest.fixture(scope="module")
+def join_workload():
+    return stock_workload(StockArchiveConfig(num_series=150, length=128))
+
+
+@pytest.fixture(scope="module")
+def join_epsilon(join_workload):
+    # A threshold producing a small, Table-1-like answer set.
+    transformation = moving_average_spectral(128, 20)
+    query = join_workload.queries[0]
+    result = join_workload.scan.range_query(query, float("inf"),
+                                            transformation=transformation,
+                                            early_abandon=False)
+    distances = sorted(d for _, d in result.answers)
+    return distances[max(1, len(distances) // 50)]
+
+
+@pytest.mark.benchmark(group="table1-join")
+def bench_method_a_naive_scan(benchmark, join_workload, join_epsilon, mavg20_128):
+    benchmark(lambda: join_workload.scan.all_pairs(join_epsilon,
+                                                   transformation=mavg20_128,
+                                                   early_abandon=False))
+
+
+@pytest.mark.benchmark(group="table1-join")
+def bench_method_b_early_abandon_scan(benchmark, join_workload, join_epsilon, mavg20_128):
+    benchmark(lambda: join_workload.scan.all_pairs(join_epsilon,
+                                                   transformation=mavg20_128,
+                                                   early_abandon=True))
+
+
+@pytest.mark.benchmark(group="table1-join")
+def bench_method_c_index_join_no_transformation(benchmark, join_workload, join_epsilon):
+    benchmark(lambda: join_workload.index.all_pairs(join_epsilon))
+
+
+@pytest.mark.benchmark(group="table1-join")
+def bench_method_d_index_join_with_mavg20(benchmark, join_workload, join_epsilon,
+                                          mavg20_128):
+    benchmark(lambda: join_workload.index.all_pairs(join_epsilon,
+                                                    transformation=mavg20_128))

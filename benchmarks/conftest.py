@@ -1,0 +1,50 @@
+"""Shared workloads for the benchmark suite.
+
+Each benchmark measures one query operation over a pre-built workload (index
+construction happens once per session, outside the measured region).  Sizes
+are chosen so the whole suite runs in a couple of minutes; the full
+paper-scale sweeps are available through ``python -m repro.bench.harness
+--paper-scale``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import stock_workload, synthetic_workload
+from repro.timeseries.stockdata import StockArchiveConfig
+from repro.timeseries.transforms import identity_spectral, moving_average_spectral
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """300 random-walk series of length 128 (the evaluation's base length)."""
+    return synthetic_workload(300, 128, seed=11)
+
+
+@pytest.fixture(scope="session")
+def long_series_workload():
+    """200 series of length 512 (the long-sequence end of Figures 8/10)."""
+    return synthetic_workload(200, 512, seed=12)
+
+
+@pytest.fixture(scope="session")
+def large_count_workload():
+    """1200 series of length 128 (the many-sequences end of Figures 9/11)."""
+    return synthetic_workload(1200, 128, seed=13)
+
+
+@pytest.fixture(scope="session")
+def stock_archive_workload():
+    """A 500-series slice of the synthetic stock archive (Figure 12 / Table 1)."""
+    return stock_workload(StockArchiveConfig(num_series=500, length=128))
+
+
+@pytest.fixture(scope="session")
+def identity128():
+    return identity_spectral(128)
+
+
+@pytest.fixture(scope="session")
+def mavg20_128():
+    return moving_average_spectral(128, 20)

@@ -1,0 +1,35 @@
+"""Index versus sequential scan: reproduce the headline performance story.
+
+Run with::
+
+    python examples/index_vs_scan.py
+
+Builds synthetic workloads of growing size, runs the same moving-average
+range query through the k-index and through an early-abandoning sequential
+scan, and prints the per-query times plus the answer-set-size crossover sweep
+(small answer sets favour the index; once a third of the relation qualifies,
+scanning wins) — the qualitative content of Figures 10–12.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, run_experiment
+
+
+def main() -> None:
+    print("Index vs sequential scan while the number of sequences grows")
+    rows = run_experiment("figure11", counts=(200, 400, 800), length=128)
+    print(format_table(rows))
+
+    print("\nIndex vs sequential scan while the sequence length grows")
+    rows = run_experiment("figure10", lengths=(64, 128, 256), num_series=300)
+    print(format_table(rows))
+
+    print("\nAnswer-set-size sweep (the index/scan crossover)")
+    rows = run_experiment("figure12", num_series=400,
+                          fractions=(0.01, 0.05, 0.15, 0.3, 0.45))
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Quickstart: index a collection of time series and run similarity queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small collection of random-walk "price" series, plants a
+few series that are similar to the first one after smoothing, indexes
+everything, and then runs three queries:
+
+1. a plain range query (no transformation),
+2. a range query under a 10-day moving average,
+3. a nearest-neighbour query under the same transformation,
+
+comparing the index's answers against a sequential scan to show they agree.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    KIndex,
+    SequentialScan,
+    SeriesFeatureExtractor,
+    moving_average_spectral,
+    noisy_copy,
+    random_walk_collection,
+)
+
+LENGTH = 128
+NUM_SERIES = 400
+WINDOW = 10
+
+
+def build_data():
+    """A synthetic collection with a few planted near-duplicates of series 0."""
+    data = random_walk_collection(NUM_SERIES, LENGTH, seed=2024)
+    target = data[0]
+    for i in range(3):
+        data.append(noisy_copy(target, noise=1.5, seed=100 + i,
+                               name=f"{target.name}~twin{i}"))
+    return data
+
+
+def main() -> None:
+    data = build_data()
+    extractor = SeriesFeatureExtractor(num_coefficients=2, representation="polar")
+
+    index = KIndex(extractor)
+    index.extend(data)
+    scan = SequentialScan(extractor)
+    scan.extend(data)
+
+    query = data[0]
+    smoothing = moving_average_spectral(LENGTH, WINDOW)
+
+    print(f"indexed {len(index)} series of length {LENGTH} "
+          f"in a {extractor.space.dimension}-dimensional feature space\n")
+
+    plain = index.range_query(query, epsilon=2.0)
+    print(f"range query, no transformation, epsilon=2.0 -> {len(plain)} answers")
+    for series, distance in plain.answers[:5]:
+        print(f"   {series.name:<20} distance={distance:.3f}")
+
+    smoothed = index.range_query(query, epsilon=2.0, transformation=smoothing)
+    print(f"\nrange query under {smoothing.name}, epsilon=2.0 -> {len(smoothed)} answers "
+          f"({smoothed.statistics.candidates} candidates, "
+          f"{smoothed.statistics.node_accesses} node accesses)")
+    for series, distance in smoothed.answers[:5]:
+        print(f"   {series.name:<20} distance={distance:.3f}")
+
+    check = scan.range_query(query, epsilon=2.0, transformation=smoothing)
+    same = {s.object_id for s, _ in smoothed.answers} == {s.object_id for s, _ in check.answers}
+    print(f"\nsequential scan agrees with the index: {same}")
+
+    nearest = index.nearest_neighbors(query, k=4, transformation=smoothing)
+    print(f"\n4 nearest neighbours under {smoothing.name}:")
+    for series, distance in nearest.answers:
+        print(f"   {series.name:<20} distance={distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

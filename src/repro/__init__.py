@@ -1,0 +1,156 @@
+"""repro — similarity-based queries through cost-bounded transformations.
+
+A reproduction of the PODS 1995 "Similarity-Based Queries" framework
+(pattern language, transformation language with costs, similarity predicate,
+query language) together with its canonical time-series instantiation:
+DFT features, safe linear transformations (moving average, reversal, shift,
+scale, time warping) and R*-tree-backed query processing that traverses one
+physical index under any safe transformation.
+
+Quickstart
+----------
+>>> from repro import KIndex, moving_average_spectral, random_walk_collection
+>>> data = random_walk_collection(200, 128, seed=7)
+>>> index = KIndex()
+>>> index.extend(data)
+>>> result = index.range_query(data[0], epsilon=2.0,
+...                            transformation=moving_average_spectral(128, 20))
+>>> [series.name for series, distance in result.answers][:1]
+['walk-0']
+
+The package is organised as:
+
+``repro.core``
+    The domain-independent framework: objects, feature spaces,
+    transformations, safety, patterns, rules, the similarity engine, the
+    relational catalog and the query language.
+``repro.timeseries``
+    The time-series domain: DFT, normal forms, spectral transformations,
+    generators and feature extraction.
+``repro.index``
+    R-tree / R*-tree, the k-index, transformed-index search and the
+    sequential-scan baselines.
+``repro.strings``
+    A second domain instantiation (weighted edit transformations).
+``repro.storage``
+    Simulated pages and buffer pool for I/O accounting.
+``repro.bench``
+    The experiment harness reproducing the evaluation's figures and table.
+"""
+
+from __future__ import annotations
+
+from .core.cost import AdditiveCostModel, CostBudget, MaxCostModel
+from .core.database import Database, Relation, Row
+from .core.distance import city_block, euclidean, euclidean_with_early_abandon
+from .core.errors import (
+    CostExceededError,
+    DimensionMismatchError,
+    PatternError,
+    QueryPlanningError,
+    QuerySyntaxError,
+    ReproError,
+    UnsafeTransformationError,
+)
+from .core.objects import DataObject, FeatureVector, GenericObject
+from .core.patterns import (
+    AnyPattern,
+    ConstantPattern,
+    Pattern,
+    PredicatePattern,
+    RelationPattern,
+    TransformedPattern,
+)
+from .core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery
+from .core.query.executor import QueryEngine, QueryOutcome
+from .core.query.parser import parse as parse_query
+from .core.query.planner import Planner, explain
+from .core.rules import TransformationRuleSet
+from .core.similarity import SimilarityEngine, is_similar, transformation_distance
+from .core.spaces import PolarSpace, RectangularSpace
+from .core.transformations import (
+    ComposedTransformation,
+    FunctionTransformation,
+    IdentityTransformation,
+    LinearTransformation,
+    RealLinearTransformation,
+    Transformation,
+)
+from .index.geometry import Rect, mindist, minmaxdist
+from .index.kindex import KIndex, NearestNeighborResult, RangeQueryResult
+from .index.rstar import RStarTree
+from .index.rtree import RTree
+from .index.scan import SequentialScan
+from .index.transformed import (
+    materialize_transformed_tree,
+    transformed_join,
+    transformed_nearest_neighbors,
+    transformed_range_search,
+)
+from .storage.buffer import BufferPool
+from .storage.pages import PageStore
+from .strings.distance import transformation_edit_distance, weighted_edit_distance
+from .strings.objects import StringObject
+from .timeseries.dft import dft, inverse_dft
+from .timeseries.distances import dtw_distance, normalized_euclidean
+from .timeseries.features import SeriesFeatureExtractor
+from .timeseries.generators import (
+    noisy_copy,
+    opposite_copy,
+    random_walk,
+    random_walk_collection,
+)
+from .timeseries.normalform import normalize
+from .timeseries.series import TimeSeries
+from .timeseries.stockdata import StockArchiveConfig, make_stock_archive
+from .timeseries.transforms import (
+    MovingAverageTransform,
+    ReverseTransform,
+    ScaleTransform,
+    ShiftTransform,
+    SpectralTransformation,
+    TimeWarpTransform,
+    identity_spectral,
+    moving_average_spectral,
+    reverse_spectral,
+    scale_spectral,
+    shift_spectral,
+    time_warp_linear,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdditiveCostModel", "CostBudget", "MaxCostModel",
+    "Database", "Relation", "Row",
+    "city_block", "euclidean", "euclidean_with_early_abandon",
+    "ReproError", "DimensionMismatchError", "UnsafeTransformationError",
+    "CostExceededError", "PatternError", "QuerySyntaxError", "QueryPlanningError",
+    "DataObject", "FeatureVector", "GenericObject",
+    "Pattern", "AnyPattern", "ConstantPattern", "PredicatePattern",
+    "RelationPattern", "TransformedPattern",
+    "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
+    "QueryEngine", "QueryOutcome", "parse_query", "Planner", "explain",
+    "TransformationRuleSet",
+    "SimilarityEngine", "is_similar", "transformation_distance",
+    "PolarSpace", "RectangularSpace",
+    "Transformation", "IdentityTransformation", "FunctionTransformation",
+    "ComposedTransformation", "LinearTransformation", "RealLinearTransformation",
+    "Rect", "mindist", "minmaxdist",
+    "KIndex", "RangeQueryResult", "NearestNeighborResult",
+    "RTree", "RStarTree", "SequentialScan",
+    "materialize_transformed_tree", "transformed_range_search",
+    "transformed_nearest_neighbors", "transformed_join",
+    "PageStore", "BufferPool",
+    "StringObject", "weighted_edit_distance", "transformation_edit_distance",
+    "dft", "inverse_dft", "dtw_distance", "normalized_euclidean",
+    "SeriesFeatureExtractor",
+    "random_walk", "random_walk_collection", "noisy_copy", "opposite_copy",
+    "normalize", "TimeSeries",
+    "StockArchiveConfig", "make_stock_archive",
+    "SpectralTransformation", "MovingAverageTransform", "ReverseTransform",
+    "ShiftTransform", "ScaleTransform", "TimeWarpTransform",
+    "identity_spectral", "moving_average_spectral", "reverse_spectral",
+    "shift_spectral", "scale_spectral", "time_warp_linear",
+    "__version__",
+]

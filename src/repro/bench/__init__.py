@@ -1,0 +1,11 @@
+"""Experiment harness: workloads, per-figure reproduction functions, reporting."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .reporting import format_markdown_table, format_table, summarize_ratio
+from .workloads import Workload, pick_queries, stock_workload, synthetic_workload
+
+__all__ = [
+    "EXPERIMENTS", "run_experiment",
+    "format_table", "format_markdown_table", "summarize_ratio",
+    "Workload", "pick_queries", "stock_workload", "synthetic_workload",
+]

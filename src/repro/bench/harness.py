@@ -1,0 +1,48 @@
+"""Command-line harness: ``python -m repro.bench.harness [experiment ...]``.
+
+Runs the named experiments (or all of them) at their quick default sizes and
+prints one text table per experiment.  ``--paper-scale`` switches the
+companion-evaluation experiments to the original data sizes; expect minutes
+rather than seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import EXPERIMENTS, run_experiment
+from .reporting import format_table
+
+_PAPER_SCALE_AWARE = {"figure8", "figure9", "figure10", "figure11", "figure12", "table1"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help="experiment names (default: all)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the original evaluation's data sizes")
+    parser.add_argument("--list", action="store_true", help="list experiment names and exit")
+    arguments = parser.parse_args(argv)
+    if arguments.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    names = arguments.experiments or sorted(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        parameters = {}
+        if arguments.paper_scale and name in _PAPER_SCALE_AWARE:
+            parameters["paper_scale"] = True
+        rows = run_experiment(name, **parameters)
+        print(format_table(rows, title=f"== {name} =="))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Plain-text and markdown rendering of experiment results.
+
+Every experiment returns a list of row dictionaries; these helpers turn them
+into aligned text tables (for the console) or markdown tables (for
+``EXPERIMENTS.md``), without depending on any plotting library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_markdown_table", "summarize_ratio"]
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _column_order(rows: Sequence[Mapping[str, Any]],
+                  columns: Sequence[str] | None) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    ordered: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in ordered:
+                ordered.append(key)
+    return ordered
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None, title: str | None = None) -> str:
+    """Align rows into a fixed-width text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    names = _column_order(rows, columns)
+    cells = [[_render_cell(row.get(name, "")) for name in names] for row in rows]
+    widths = [max(len(name), *(len(line[i]) for line in cells)) for i, name in enumerate(names)]
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+    separator = "  ".join("-" * widths[i] for i in range(len(names)))
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(names)))
+        for line in cells
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, Any]],
+                          columns: Sequence[str] | None = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    names = _column_order(rows, columns)
+    lines = ["| " + " | ".join(names) + " |",
+             "|" + "|".join("---" for _ in names) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_render_cell(row.get(name, "")) for name in names) + " |")
+    return "\n".join(lines)
+
+
+def summarize_ratio(rows: Iterable[Mapping[str, Any]], numerator: str,
+                    denominator: str) -> float:
+    """Average ratio ``numerator / denominator`` over rows (ignores zero denominators)."""
+    ratios = []
+    for row in rows:
+        denom = float(row.get(denominator, 0.0))
+        if denom > 0:
+            ratios.append(float(row.get(numerator, 0.0)) / denom)
+    return sum(ratios) / len(ratios) if ratios else 0.0

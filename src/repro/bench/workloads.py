@@ -1,0 +1,85 @@
+"""Workload construction shared by the experiment suite.
+
+Each experiment needs a data set (synthetic random walks of a given size, or
+the synthetic stock archive), a loaded index, a matching sequential-scan
+evaluator and a set of query series.  Building those is factored out here so
+the per-experiment modules stay focused on what they measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..index.kindex import KIndex
+from ..index.scan import SequentialScan
+from ..timeseries.features import SeriesFeatureExtractor
+from ..timeseries.generators import make_rng, random_walk_collection
+from ..timeseries.series import TimeSeries
+from ..timeseries.stockdata import StockArchiveConfig, make_stock_archive
+
+__all__ = ["Workload", "synthetic_workload", "stock_workload", "pick_queries"]
+
+
+@dataclass
+class Workload:
+    """A data set plus the evaluators the experiments compare."""
+
+    name: str
+    data: list[TimeSeries]
+    index: KIndex
+    scan: SequentialScan
+    extractor: SeriesFeatureExtractor
+    queries: list[TimeSeries] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Length of the series in the workload."""
+        return len(self.data[0]) if self.data else 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def pick_queries(data: list[TimeSeries], count: int, seed: int = 97) -> list[TimeSeries]:
+    """A deterministic sample of query series drawn from the data set."""
+    if not data:
+        return []
+    rng = make_rng(seed)
+    indices = rng.choice(len(data), size=min(count, len(data)), replace=False)
+    return [data[int(i)] for i in indices]
+
+
+def _build(name: str, data: list[TimeSeries], *, num_coefficients: int,
+           representation: str, tree_kind: str, num_queries: int,
+           query_seed: int) -> Workload:
+    extractor = SeriesFeatureExtractor(num_coefficients=num_coefficients,
+                                       representation=representation)
+    index = KIndex(extractor, tree_kind=tree_kind)
+    index.extend(data)
+    scan = SequentialScan(extractor)
+    scan.extend(data)
+    return Workload(name=name, data=data, index=index, scan=scan, extractor=extractor,
+                    queries=pick_queries(data, num_queries, seed=query_seed))
+
+
+def synthetic_workload(num_series: int, length: int, *, seed: int = 11,
+                       num_coefficients: int = 2, representation: str = "polar",
+                       tree_kind: str = "rstar", num_queries: int = 10,
+                       query_seed: int = 97) -> Workload:
+    """Random-walk sequences following the evaluation's generation recipe."""
+    data = random_walk_collection(num_series, length, seed=seed)
+    return _build(f"synthetic-{num_series}x{length}", data,
+                  num_coefficients=num_coefficients, representation=representation,
+                  tree_kind=tree_kind, num_queries=num_queries, query_seed=query_seed)
+
+
+def stock_workload(config: StockArchiveConfig | None = None, *,
+                   num_coefficients: int = 2, representation: str = "polar",
+                   tree_kind: str = "rstar", num_queries: int = 10,
+                   query_seed: int = 101) -> Workload:
+    """The synthetic stock archive standing in for the original FTP data."""
+    config = config if config is not None else StockArchiveConfig()
+    data = make_stock_archive(config)
+    return _build(f"stocks-{config.num_series}x{config.length}", data,
+                  num_coefficients=num_coefficients, representation=representation,
+                  tree_kind=tree_kind, num_queries=num_queries, query_seed=query_seed)

@@ -1,0 +1,38 @@
+"""The domain-independent similarity-query framework (the PODS'95 core)."""
+
+from .cost import AdditiveCostModel, CostBudget, CostModel, MaxCostModel
+from .database import Database, Relation, Row
+from .objects import DataObject, FeatureVector, GenericObject
+from .patterns import (
+    AnyPattern,
+    ConstantPattern,
+    Pattern,
+    PatternContext,
+    PredicatePattern,
+    RelationPattern,
+    TransformedPattern,
+)
+from .rules import TransformationRuleSet
+from .similarity import SimilarityEngine, is_similar, transformation_distance
+from .spaces import FeatureSpace, PolarSpace, RectangularSpace
+from .transformations import (
+    ComposedTransformation,
+    FunctionTransformation,
+    IdentityTransformation,
+    LinearTransformation,
+    RealLinearTransformation,
+    Transformation,
+)
+
+__all__ = [
+    "AdditiveCostModel", "CostBudget", "CostModel", "MaxCostModel",
+    "Database", "Relation", "Row",
+    "DataObject", "FeatureVector", "GenericObject",
+    "Pattern", "PatternContext", "AnyPattern", "ConstantPattern",
+    "PredicatePattern", "RelationPattern", "TransformedPattern",
+    "TransformationRuleSet",
+    "SimilarityEngine", "is_similar", "transformation_distance",
+    "FeatureSpace", "PolarSpace", "RectangularSpace",
+    "Transformation", "IdentityTransformation", "FunctionTransformation",
+    "ComposedTransformation", "LinearTransformation", "RealLinearTransformation",
+]

@@ -1,0 +1,129 @@
+"""Cost models for transformation sequences.
+
+In the similarity framework every transformation carries a cost, and an
+object ``A`` is *similar* to a pattern ``e`` (within bound ``c``) when some
+sequence of transformations of total cost at most ``c`` turns ``A`` into an
+object matching ``e``.  The cost model decides how individual costs combine
+and when a budget is exhausted.
+
+Two models are provided:
+
+* :class:`AdditiveCostModel` — costs add up (the model used throughout the
+  paper and its companion evaluation).
+* :class:`MaxCostModel` — the cost of a sequence is the maximum single cost
+  (a "bottleneck" model, useful when each transformation's cost encodes a
+  per-step tolerance rather than an expense).
+
+Both support a *budget* helper that tracks remaining allowance and raises
+:class:`~repro.core.errors.CostExceededError` when it would go negative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .errors import CostExceededError
+
+__all__ = ["CostModel", "AdditiveCostModel", "MaxCostModel", "CostBudget", "FREE"]
+
+#: Cost assigned to transformations the caller considers free.
+FREE = 0.0
+
+
+class CostModel:
+    """Strategy object describing how transformation costs combine."""
+
+    name = "abstract"
+
+    def combine(self, first: float, second: float) -> float:
+        """Cost of applying a sequence with cost ``first`` followed by one with
+        cost ``second``."""
+        raise NotImplementedError
+
+    def total(self, costs: Iterable[float]) -> float:
+        """Combined cost of an entire sequence (empty sequences cost zero)."""
+        result = 0.0
+        for cost in costs:
+            result = self.combine(result, cost)
+        return result
+
+    def within_budget(self, cost: float, budget: float) -> bool:
+        """Whether ``cost`` is acceptable for the given budget."""
+        return cost <= budget
+
+    def validate(self, cost: float) -> float:
+        """Check that an individual cost is legal (non-negative, finite)."""
+        cost = float(cost)
+        if cost < 0:
+            raise ValueError(f"transformation costs must be non-negative, got {cost}")
+        return cost
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AdditiveCostModel(CostModel):
+    """Costs accumulate by addition — the framework's default."""
+
+    name = "additive"
+
+    def combine(self, first: float, second: float) -> float:
+        return first + second
+
+
+class MaxCostModel(CostModel):
+    """The cost of a sequence is its most expensive step."""
+
+    name = "max"
+
+    def combine(self, first: float, second: float) -> float:
+        return max(first, second)
+
+
+class CostBudget:
+    """A running budget for one similarity evaluation.
+
+    Example
+    -------
+    >>> budget = CostBudget(10.0)
+    >>> budget.spend(4.0)
+    >>> budget.remaining
+    6.0
+    >>> budget.can_afford(7.0)
+    False
+    """
+
+    def __init__(self, limit: float, model: CostModel | None = None) -> None:
+        if limit < 0:
+            raise ValueError("a cost budget cannot be negative")
+        self.limit = float(limit)
+        self.model = model if model is not None else AdditiveCostModel()
+        self._spent = 0.0
+
+    @property
+    def spent(self) -> float:
+        """Combined cost spent so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(0.0, self.limit - self._spent)
+
+    def can_afford(self, cost: float) -> bool:
+        """Whether spending ``cost`` next would stay within the limit."""
+        return self.model.within_budget(self.model.combine(self._spent, cost), self.limit)
+
+    def spend(self, cost: float) -> None:
+        """Record spending ``cost``; raises :class:`CostExceededError` if the
+        limit would be exceeded."""
+        cost = self.model.validate(cost)
+        combined = self.model.combine(self._spent, cost)
+        if not self.model.within_budget(combined, self.limit):
+            raise CostExceededError(
+                f"cost {combined:.6g} exceeds the budget limit {self.limit:.6g}"
+            )
+        self._spent = combined
+
+    def __repr__(self) -> str:
+        return f"CostBudget(limit={self.limit}, spent={self._spent})"

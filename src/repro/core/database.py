@@ -1,0 +1,191 @@
+"""A small in-memory relational substrate.
+
+Relations in the framework are, at their core, *sets of objects* ("we assume
+relations are unary ... in practice of course they may have other
+attributes").  :class:`Relation` stores :class:`~repro.core.objects.DataObject`
+rows together with an optional attribute dictionary per row, and
+:class:`Database` is the catalog that names relations and the indexes built
+over them.  The query executor and the benchmark harness work exclusively
+through these two classes, so swapping in a different storage engine only
+requires re-implementing this module's interface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from typing import Any
+
+from .errors import CatalogError
+from .objects import DataObject
+
+__all__ = ["Row", "Relation", "Database"]
+
+
+class Row:
+    """One tuple of a relation: a data object plus named attributes."""
+
+    __slots__ = ("obj", "attributes")
+
+    def __init__(self, obj: DataObject, attributes: Mapping[str, Any] | None = None) -> None:
+        self.obj = obj
+        self.attributes = dict(attributes) if attributes else {}
+
+    def __getitem__(self, name: str) -> Any:
+        return self.attributes[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Attribute lookup with a default, mirroring ``dict.get``."""
+        return self.attributes.get(name, default)
+
+    def __repr__(self) -> str:
+        return f"Row({self.obj!r}, {self.attributes!r})"
+
+
+class Relation:
+    """An ordered collection of rows, addressable by object id."""
+
+    def __init__(self, name: str, rows: Iterable[Row | DataObject] = ()) -> None:
+        self.name = name
+        self._rows: list[Row] = []
+        self._by_id: dict[int, int] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # modification
+    # ------------------------------------------------------------------
+    def insert(self, row: Row | DataObject,
+               attributes: Mapping[str, Any] | None = None) -> Row:
+        """Insert a row (or wrap a bare object into one) and return it."""
+        if isinstance(row, DataObject):
+            row = Row(row, attributes)
+        elif attributes:
+            row.attributes.update(attributes)
+        if row.obj.object_id in self._by_id:
+            raise CatalogError(
+                f"object id {row.obj.object_id} already present in relation {self.name!r}"
+            )
+        self._by_id[row.obj.object_id] = len(self._rows)
+        self._rows.append(row)
+        return row
+
+    def extend(self, objects: Iterable[Row | DataObject]) -> None:
+        """Insert many rows/objects."""
+        for obj in objects:
+            self.insert(obj)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[DataObject]:
+        """Iterating a relation yields its *objects* (the unary view)."""
+        return (row.obj for row in self._rows)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over full rows (object + attributes)."""
+        return iter(self._rows)
+
+    def objects(self) -> list[DataObject]:
+        """All objects as a list."""
+        return [row.obj for row in self._rows]
+
+    def get(self, object_id: int) -> Row:
+        """The row holding the object with the given id."""
+        try:
+            return self._rows[self._by_id[object_id]]
+        except KeyError:
+            raise CatalogError(
+                f"no object with id {object_id} in relation {self.name!r}"
+            ) from None
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._by_id
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """A new relation holding the rows satisfying ``predicate``."""
+        result = Relation(f"{self.name}_selection")
+        for row in self._rows:
+            if predicate(row):
+                result.insert(Row(row.obj, row.attributes))
+        return result
+
+    def __repr__(self) -> str:
+        return f"Relation(name={self.name!r}, size={len(self)})"
+
+
+class Database:
+    """A catalog of named relations and the indexes built over them."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+        self._indexes: dict[tuple[str, str], Any] = {}
+
+    # ------------------------------------------------------------------
+    # relations
+    # ------------------------------------------------------------------
+    def create_relation(self, name: str, objects: Iterable[Row | DataObject] = ()
+                        ) -> Relation:
+        """Create (and register) a relation; the name must be new."""
+        if name in self._relations:
+            raise CatalogError(f"relation {name!r} already exists")
+        relation = Relation(name, objects)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """Look a relation up by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._relations)) or "<none>"
+            raise CatalogError(f"unknown relation {name!r}; known: {known}") from None
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation and every index built on it."""
+        if name not in self._relations:
+            raise CatalogError(f"unknown relation {name!r}")
+        del self._relations[name]
+        for key in [key for key in self._indexes if key[0] == name]:
+            del self._indexes[key]
+
+    def relations(self) -> list[str]:
+        """Names of all registered relations."""
+        return list(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def register_index(self, relation_name: str, index: Any,
+                       index_name: str = "default") -> None:
+        """Attach an index object to a relation under ``index_name``."""
+        if relation_name not in self._relations:
+            raise CatalogError(f"unknown relation {relation_name!r}")
+        self._indexes[(relation_name, index_name)] = index
+
+    def index(self, relation_name: str, index_name: str = "default") -> Any:
+        """Retrieve a registered index."""
+        try:
+            return self._indexes[(relation_name, index_name)]
+        except KeyError:
+            raise CatalogError(
+                f"no index {index_name!r} registered for relation {relation_name!r}"
+            ) from None
+
+    def has_index(self, relation_name: str, index_name: str = "default") -> bool:
+        """Whether an index is registered for the relation."""
+        return (relation_name, index_name) in self._indexes
+
+    def indexes(self) -> list[tuple[str, str]]:
+        """All (relation, index name) pairs."""
+        return list(self._indexes)
+
+    def __repr__(self) -> str:
+        return (f"Database(name={self.name!r}, relations={len(self._relations)}, "
+                f"indexes={len(self._indexes)})")

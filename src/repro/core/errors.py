@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` similarity-query library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DimensionMismatchError(ReproError):
+    """Two vectors, points, or rectangles do not live in the same space."""
+
+
+class UnsafeTransformationError(ReproError):
+    """A transformation violates the safety condition required by an index.
+
+    A transformation is *safe* with respect to a feature space when it maps
+    every rectangle to a rectangle, interior points to interior points and
+    exterior points to exterior points (Definition 1 of the companion text).
+    Index traversal under an unsafe transformation could silently drop
+    answers, so the library refuses to do it.
+    """
+
+
+class CostExceededError(ReproError):
+    """A transformation sequence exceeded the caller-supplied cost bound."""
+
+
+class PatternError(ReproError):
+    """A pattern expression is malformed or cannot be evaluated."""
+
+
+class QuerySyntaxError(ReproError):
+    """The textual query could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class QueryPlanningError(ReproError):
+    """No executable plan could be produced for a logical query."""
+
+
+class CatalogError(ReproError):
+    """A relation or index referenced by name does not exist (or already does)."""
+
+
+class IndexError_(ReproError):
+    """An index structure was used incorrectly (bad arity, unknown entry...).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``IndexError``.
+    """
+
+
+class StorageError(ReproError):
+    """The simulated storage layer was asked to do something impossible."""
+
+
+class TransformationError(ReproError):
+    """A transformation could not be constructed or applied."""

@@ -1,0 +1,206 @@
+"""Object model for the similarity-query framework.
+
+The PODS'95 framework is domain independent: a *data object* is anything that
+can be mapped to a point in a multidimensional feature space (an
+``md-space``).  This module defines the small amount of structure the rest of
+the library relies on:
+
+* :class:`DataObject` — the protocol every domain object implements.  It
+  carries an identifier, an optional payload, and knows how to produce a
+  feature vector for a given feature *space* (see :mod:`repro.core.spaces`).
+* :class:`FeatureVector` — an immutable, hashable wrapper around a numpy
+  array of real features, with the vector arithmetic the transformation
+  language needs.
+* :class:`GenericObject` — a ready-made concrete object for callers that
+  already have a feature vector and do not need a richer domain class.
+
+Domain packages (:mod:`repro.timeseries`, :mod:`repro.strings`) provide their
+own :class:`DataObject` subclasses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from .errors import DimensionMismatchError
+
+__all__ = ["FeatureVector", "DataObject", "GenericObject", "ObjectIdAllocator"]
+
+
+class FeatureVector:
+    """An immutable point in a real-valued multidimensional feature space.
+
+    The vector is stored as a read-only ``float64`` numpy array.  Instances
+    are hashable and comparable, which lets them be used as dictionary keys
+    and as members of query answer sets.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float] | np.ndarray) -> None:
+        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                           dtype=np.float64)
+        if array.ndim != 1:
+            raise DimensionMismatchError(
+                f"a feature vector must be one-dimensional, got shape {array.shape}"
+            )
+        array = array.copy()
+        array.setflags(write=False)
+        self._values = array
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only numpy array."""
+        return self._values
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates in the vector."""
+        return int(self._values.shape[0])
+
+    def __len__(self) -> int:
+        return self.dimension
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> float:
+        return float(self._values[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeatureVector):
+            return NotImplemented
+        return self._values.shape == other._values.shape and bool(
+            np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._values.tobytes())
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{v:.6g}" for v in self._values)
+        return f"FeatureVector([{inside}])"
+
+    # ------------------------------------------------------------------
+    # vector arithmetic used by the transformation language
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "FeatureVector") -> None:
+        if self.dimension != other.dimension:
+            raise DimensionMismatchError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+
+    def add(self, other: "FeatureVector") -> "FeatureVector":
+        """Coordinate-wise sum."""
+        self._check_compatible(other)
+        return FeatureVector(self._values + other._values)
+
+    def subtract(self, other: "FeatureVector") -> "FeatureVector":
+        """Coordinate-wise difference ``self - other``."""
+        self._check_compatible(other)
+        return FeatureVector(self._values - other._values)
+
+    def multiply(self, other: "FeatureVector") -> "FeatureVector":
+        """Coordinate-wise (Hadamard) product."""
+        self._check_compatible(other)
+        return FeatureVector(self._values * other._values)
+
+    def scale(self, factor: float) -> "FeatureVector":
+        """Multiply every coordinate by a scalar."""
+        return FeatureVector(self._values * float(factor))
+
+    def euclidean_distance(self, other: "FeatureVector") -> float:
+        """The L2 distance to ``other``."""
+        self._check_compatible(other)
+        return float(np.linalg.norm(self._values - other._values))
+
+    def as_tuple(self) -> tuple[float, ...]:
+        """The vector as a plain tuple of floats."""
+        return tuple(float(v) for v in self._values)
+
+    @staticmethod
+    def zeros(dimension: int) -> "FeatureVector":
+        """The all-zero vector of the given dimension."""
+        return FeatureVector(np.zeros(dimension))
+
+    @staticmethod
+    def ones(dimension: int) -> "FeatureVector":
+        """The all-one vector of the given dimension."""
+        return FeatureVector(np.ones(dimension))
+
+
+class ObjectIdAllocator:
+    """Hands out unique, monotonically increasing object identifiers."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> int:
+        """Return the next unused identifier."""
+        return next(self._counter)
+
+
+_DEFAULT_ALLOCATOR = ObjectIdAllocator()
+
+
+class DataObject:
+    """Base class for every object the framework can query.
+
+    Subclasses must implement :meth:`feature_vector`, which maps the object to
+    a point in the feature space the caller supplies.  The base class manages
+    identity, an optional human-readable ``name`` and an arbitrary
+    ``payload`` (the full database record — e.g. the raw time series — used
+    in the postprocessing step of index searches).
+    """
+
+    def __init__(self, *, object_id: int | None = None, name: str | None = None,
+                 payload: Any = None) -> None:
+        self.object_id = object_id if object_id is not None else _DEFAULT_ALLOCATOR.next_id()
+        self.name = name if name is not None else f"object-{self.object_id}"
+        self.payload = payload
+
+    def feature_vector(self, space: "FeatureSpace | None" = None) -> FeatureVector:  # noqa: F821
+        """Map the object to a point in ``space``.
+
+        ``space`` may be ``None`` for objects with a single natural feature
+        representation.  Subclasses must override this method.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.object_id}, name={self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataObject):
+            return NotImplemented
+        return self.object_id == other.object_id
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.object_id))
+
+
+class GenericObject(DataObject):
+    """A data object that *is* its feature vector.
+
+    Useful for tests, synthetic workloads, and callers that have already
+    performed their own feature extraction.
+    """
+
+    def __init__(self, features: Sequence[float] | np.ndarray | FeatureVector, *,
+                 object_id: int | None = None, name: str | None = None,
+                 payload: Any = None) -> None:
+        super().__init__(object_id=object_id, name=name, payload=payload)
+        self._features = features if isinstance(features, FeatureVector) else FeatureVector(features)
+
+    def feature_vector(self, space: "FeatureSpace | None" = None) -> FeatureVector:  # noqa: F821
+        """Return the stored feature vector (``space`` is ignored)."""
+        return self._features
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the stored feature vector."""
+        return self._features.dimension

@@ -1,0 +1,293 @@
+"""The pattern language ``P``.
+
+A *pattern* denotes a set of data objects.  The framework keeps the language
+deliberately open-ended; this module provides the pattern forms needed by the
+query language and by the companion evaluation:
+
+* :class:`ConstantPattern` — exactly one given object (the "query object").
+* :class:`AnyPattern` — every object of the relation being queried.
+* :class:`RelationPattern` — every object of a *named* relation (resolved
+  against a :class:`~repro.core.database.Database` at evaluation time).
+* :class:`PredicatePattern` — the objects satisfying an arbitrary predicate.
+* :class:`UnionPattern` / :class:`IntersectionPattern` /
+  :class:`DifferencePattern` — boolean combinations.
+* :class:`TransformedPattern` — ``t(e)``: the image of a pattern under a
+  transformation (written ``e ≈ t`` in the PODS paper).
+
+A pattern supports two operations: :meth:`Pattern.matches` decides membership
+of a single object, and :meth:`Pattern.enumerate` lists the denoted objects
+when that is possible (constant and relation-backed patterns).  Patterns that
+can only test membership (e.g. a predicate over an infinite domain) raise
+:class:`PatternError` from :meth:`enumerate`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
+
+from .errors import PatternError
+from .transformations import Transformation
+
+__all__ = [
+    "Pattern",
+    "ConstantPattern",
+    "AnyPattern",
+    "RelationPattern",
+    "PredicatePattern",
+    "UnionPattern",
+    "IntersectionPattern",
+    "DifferencePattern",
+    "TransformedPattern",
+]
+
+
+class Pattern:
+    """Base class: a description of a set of objects."""
+
+    def matches(self, obj: Any, context: "PatternContext | None" = None) -> bool:
+        """Whether ``obj`` belongs to the set denoted by the pattern."""
+        raise NotImplementedError
+
+    def enumerate(self, context: "PatternContext | None" = None) -> Iterator[Any]:
+        """Iterate over the objects denoted by the pattern.
+
+        Only patterns that denote a finite, materialisable set implement
+        this; others raise :class:`PatternError`.
+        """
+        raise PatternError(f"{type(self).__name__} cannot be enumerated")
+
+    def is_enumerable(self) -> bool:
+        """Whether :meth:`enumerate` is supported."""
+        return False
+
+    # -- convenience combinators ------------------------------------------
+    def union(self, other: "Pattern") -> "UnionPattern":
+        """Objects matching ``self`` or ``other``."""
+        return UnionPattern([self, other])
+
+    def intersect(self, other: "Pattern") -> "IntersectionPattern":
+        """Objects matching ``self`` and ``other``."""
+        return IntersectionPattern([self, other])
+
+    def minus(self, other: "Pattern") -> "DifferencePattern":
+        """Objects matching ``self`` but not ``other``."""
+        return DifferencePattern(self, other)
+
+    def transformed(self, transformation: Transformation) -> "TransformedPattern":
+        """The image ``t(self)`` of this pattern under ``transformation``."""
+        return TransformedPattern(transformation, self)
+
+
+class PatternContext:
+    """Evaluation context carried through pattern evaluation.
+
+    ``database`` resolves :class:`RelationPattern` names; ``relation`` is the
+    relation currently being queried (resolves :class:`AnyPattern`);
+    ``equality`` decides when two objects are "the same" for
+    :class:`ConstantPattern` and :class:`TransformedPattern` (the default is
+    ``==``, domains with approximate semantics can pass a tolerance-aware
+    comparison).
+    """
+
+    def __init__(self, database: Any | None = None, relation: Any | None = None,
+                 equality: Callable[[Any, Any], bool] | None = None) -> None:
+        self.database = database
+        self.relation = relation
+        self.equality = equality if equality is not None else (lambda a, b: a == b)
+
+
+def _context(context: PatternContext | None) -> PatternContext:
+    return context if context is not None else PatternContext()
+
+
+class ConstantPattern(Pattern):
+    """Denotes exactly one given object."""
+
+    def __init__(self, obj: Any) -> None:
+        self.obj = obj
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        return _context(context).equality(obj, self.obj)
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        yield self.obj
+
+    def is_enumerable(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConstantPattern({self.obj!r})"
+
+
+class AnyPattern(Pattern):
+    """Denotes every object of the relation being queried."""
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        context = _context(context)
+        if context.relation is None:
+            # With no relation bound, "any object" matches everything.
+            return True
+        return any(context.equality(obj, member) for member in context.relation)
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        context = _context(context)
+        if context.relation is None:
+            raise PatternError("AnyPattern needs a relation bound in the context")
+        yield from context.relation
+
+    def is_enumerable(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AnyPattern()"
+
+
+class RelationPattern(Pattern):
+    """Denotes every object of the named relation of the context's database."""
+
+    def __init__(self, relation_name: str) -> None:
+        self.relation_name = relation_name
+
+    def _relation(self, context: PatternContext) -> Any:
+        if context.database is None:
+            raise PatternError(
+                f"RelationPattern({self.relation_name!r}) needs a database in the context"
+            )
+        return context.database.relation(self.relation_name)
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        context = _context(context)
+        relation = self._relation(context)
+        return any(context.equality(obj, member) for member in relation)
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        yield from self._relation(_context(context))
+
+    def is_enumerable(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"RelationPattern({self.relation_name!r})"
+
+
+class PredicatePattern(Pattern):
+    """Denotes the objects for which a caller-supplied predicate holds."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str | None = None) -> None:
+        self.predicate = predicate
+        self.name = name or getattr(predicate, "__name__", "predicate")
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        return bool(self.predicate(obj))
+
+    def __repr__(self) -> str:
+        return f"PredicatePattern({self.name})"
+
+
+class UnionPattern(Pattern):
+    """Objects matching at least one member pattern."""
+
+    def __init__(self, patterns: Iterable[Pattern]) -> None:
+        self.patterns = list(patterns)
+        if not self.patterns:
+            raise PatternError("a union pattern needs at least one member")
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        return any(p.matches(obj, context) for p in self.patterns)
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        seen: list[Any] = []
+        for pattern in self.patterns:
+            for obj in pattern.enumerate(context):
+                if not any(obj is other or obj == other for other in seen):
+                    seen.append(obj)
+                    yield obj
+
+    def is_enumerable(self) -> bool:
+        return all(p.is_enumerable() for p in self.patterns)
+
+    def __repr__(self) -> str:
+        return f"UnionPattern({self.patterns!r})"
+
+
+class IntersectionPattern(Pattern):
+    """Objects matching every member pattern."""
+
+    def __init__(self, patterns: Iterable[Pattern]) -> None:
+        self.patterns = list(patterns)
+        if not self.patterns:
+            raise PatternError("an intersection pattern needs at least one member")
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        return all(p.matches(obj, context) for p in self.patterns)
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        enumerable = [p for p in self.patterns if p.is_enumerable()]
+        if not enumerable:
+            raise PatternError("no enumerable member in the intersection")
+        base, rest = enumerable[0], [p for p in self.patterns if p is not enumerable[0]]
+        for obj in base.enumerate(context):
+            if all(p.matches(obj, context) for p in rest):
+                yield obj
+
+    def is_enumerable(self) -> bool:
+        return any(p.is_enumerable() for p in self.patterns)
+
+    def __repr__(self) -> str:
+        return f"IntersectionPattern({self.patterns!r})"
+
+
+class DifferencePattern(Pattern):
+    """Objects matching ``left`` but not ``right``."""
+
+    def __init__(self, left: Pattern, right: Pattern) -> None:
+        self.left = left
+        self.right = right
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        return self.left.matches(obj, context) and not self.right.matches(obj, context)
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        for obj in self.left.enumerate(context):
+            if not self.right.matches(obj, context):
+                yield obj
+
+    def is_enumerable(self) -> bool:
+        return self.left.is_enumerable()
+
+    def __repr__(self) -> str:
+        return f"DifferencePattern({self.left!r}, {self.right!r})"
+
+
+class TransformedPattern(Pattern):
+    """``t(e)``: every object obtainable by applying ``t`` to a member of ``e``.
+
+    Enumeration applies the transformation to every member of the inner
+    pattern.  Membership testing requires enumerating the inner pattern as
+    well (there is no inverse transformation in general), so it is only
+    supported when the inner pattern is enumerable.
+    """
+
+    def __init__(self, transformation: Transformation, inner: Pattern) -> None:
+        self.transformation = transformation
+        self.inner = inner
+
+    def matches(self, obj: Any, context: PatternContext | None = None) -> bool:
+        context = _context(context)
+        if not self.inner.is_enumerable():
+            raise PatternError(
+                "membership in a transformed pattern needs an enumerable inner pattern"
+            )
+        return any(context.equality(obj, self.transformation.apply(member))
+                   for member in self.inner.enumerate(context))
+
+    def enumerate(self, context: PatternContext | None = None) -> Iterator[Any]:
+        for obj in self.inner.enumerate(context):
+            yield self.transformation.apply(obj)
+
+    def is_enumerable(self) -> bool:
+        return self.inner.is_enumerable()
+
+    def __repr__(self) -> str:
+        return f"TransformedPattern({self.transformation.name}, {self.inner!r})"

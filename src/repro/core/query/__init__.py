@@ -1,0 +1,12 @@
+"""The similarity query language: AST, parser, planner and executor."""
+
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .executor import QueryEngine, QueryOutcome
+from .parser import parse, tokenize
+from .planner import Plan, Planner, explain
+
+__all__ = [
+    "Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
+    "QueryEngine", "QueryOutcome", "parse", "tokenize",
+    "Plan", "Planner", "explain",
+]

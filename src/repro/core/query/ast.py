@@ -1,0 +1,58 @@
+"""Abstract syntax of the similarity query language ``L``.
+
+The language is a deliberately small extension of single-relation selection
+with three similarity predicates, mirroring the three query classes the
+framework supports:
+
+* **range** — objects of a relation whose (transformed) distance to a query
+  object is below a threshold;
+* **nearest-neighbour** — the ``k`` objects closest to a query object under a
+  transformation;
+* **all-pairs** — pairs of objects of a relation within a threshold of each
+  other under a transformation (a similarity self-join).
+
+Queries reference the query object and the transformation *by name*; both are
+resolved at execution time from bindings supplied by the caller, which keeps
+the AST purely syntactic (and hashable / comparable, convenient for testing
+the parser and the planner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class of all queries: every query targets one relation and may
+    name a transformation to apply."""
+
+    relation: str
+    transformation: str | None = None
+
+
+@dataclass(frozen=True)
+class RangeQuery(Query):
+    """``SELECT FROM r WHERE dist(series, $q) < eps [USING t]``"""
+
+    parameter: str = "query"
+    epsilon: float = 0.0
+    transform_query: bool = True
+
+
+@dataclass(frozen=True)
+class NearestNeighborQuery(Query):
+    """``SELECT FROM r NEAREST k TO $q [USING t]``"""
+
+    parameter: str = "query"
+    k: int = 1
+    transform_query: bool = True
+
+
+@dataclass(frozen=True)
+class AllPairsQuery(Query):
+    """``SELECT PAIRS FROM r WHERE dist < eps [USING t]``"""
+
+    epsilon: float = 0.0

@@ -1,0 +1,187 @@
+"""Execution of similarity queries against a :class:`~repro.core.database.Database`.
+
+The :class:`QueryEngine` ties the pieces together:
+
+* relations hold :class:`~repro.timeseries.series.TimeSeries` objects,
+* a :class:`~repro.index.kindex.KIndex` may be registered per relation,
+* transformations are registered by name (the names used in ``USING``
+  clauses),
+* query objects are bound by name at execution time (``$param``).
+
+``execute`` accepts either query text (parsed on the fly) or an already
+constructed AST node, plans it, runs the plan and returns a
+:class:`QueryOutcome` carrying the answers, the chosen plan and the work
+counters — which is what the benchmark harness records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ...index.kindex import KIndex, QueryStatistics
+from ...index.scan import SequentialScan
+from ...timeseries.series import TimeSeries
+from ...timeseries.transforms import SpectralTransformation
+from ..database import Database
+from ..errors import QueryPlanningError
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .parser import parse
+from .planner import (
+    IndexJoinPlan,
+    IndexNearestPlan,
+    IndexRangePlan,
+    Plan,
+    Planner,
+    ScanJoinPlan,
+    ScanNearestPlan,
+    ScanRangePlan,
+)
+
+__all__ = ["QueryOutcome", "QueryEngine"]
+
+
+@dataclass
+class QueryOutcome:
+    """Everything produced by executing one query."""
+
+    plan: Plan
+    answers: list[Any] = field(default_factory=list)
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class QueryEngine:
+    """Plans and executes similarity queries over a database.
+
+    Parameters
+    ----------
+    database:
+        Catalog of relations (of :class:`TimeSeries`) and registered
+        :class:`KIndex` instances.
+    transformations:
+        Mapping from transformation names (as used in ``USING`` clauses) to
+        :class:`SpectralTransformation` objects.
+    """
+
+    def __init__(self, database: Database,
+                 transformations: Mapping[str, SpectralTransformation] | None = None
+                 ) -> None:
+        self.database = database
+        self.planner = Planner(database)
+        self._transformations: dict[str, SpectralTransformation] = dict(transformations or {})
+        self._scans: dict[str, SequentialScan] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_transformation(self, name: str,
+                                transformation: SpectralTransformation) -> None:
+        """Make a transformation available to ``USING <name>`` clauses."""
+        self._transformations[name] = transformation
+
+    def transformation(self, name: str | None) -> SpectralTransformation | None:
+        """Resolve a transformation name (``None`` stays ``None``)."""
+        if name is None:
+            return None
+        try:
+            return self._transformations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._transformations)) or "<none>"
+            raise QueryPlanningError(
+                f"unknown transformation {name!r}; registered: {known}") from None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: str | Query,
+                parameters: Mapping[str, TimeSeries] | None = None) -> QueryOutcome:
+        """Parse (if needed), plan and run a query."""
+        node = parse(query) if isinstance(query, str) else query
+        parameters = dict(parameters or {})
+        transformation = self.transformation(node.transformation)
+        plan = self.planner.plan(node, transformation=transformation)
+        started = time.perf_counter()
+        outcome = self._run(plan, node, transformation, parameters)
+        outcome.elapsed_seconds = time.perf_counter() - started
+        return outcome
+
+    def _run(self, plan: Plan, node: Query,
+             transformation: SpectralTransformation | None,
+             parameters: Mapping[str, TimeSeries]) -> QueryOutcome:
+        if isinstance(plan, (IndexRangePlan, IndexNearestPlan, IndexJoinPlan)):
+            index = self.database.index(node.relation, getattr(plan, "index_name", "default"))
+            return self._run_with_index(plan, node, transformation, parameters, index)
+        return self._run_with_scan(plan, node, transformation, parameters)
+
+    # -- index plans -----------------------------------------------------
+    def _run_with_index(self, plan: Plan, node: Query,
+                        transformation: SpectralTransformation | None,
+                        parameters: Mapping[str, TimeSeries],
+                        index: KIndex) -> QueryOutcome:
+        if isinstance(node, RangeQuery):
+            query_series = self._parameter(node.parameter, parameters)
+            result = index.range_query(query_series, node.epsilon,
+                                       transformation=transformation,
+                                       transform_query=node.transform_query)
+            return QueryOutcome(plan=plan, answers=result.answers,
+                                statistics=result.statistics)
+        if isinstance(node, NearestNeighborQuery):
+            query_series = self._parameter(node.parameter, parameters)
+            result = index.nearest_neighbors(query_series, node.k,
+                                             transformation=transformation,
+                                             transform_query=node.transform_query)
+            return QueryOutcome(plan=plan, answers=result.answers,
+                                statistics=result.statistics)
+        if isinstance(node, AllPairsQuery):
+            pairs, statistics = index.all_pairs(node.epsilon, transformation=transformation)
+            return QueryOutcome(plan=plan, answers=pairs, statistics=statistics)
+        raise QueryPlanningError(f"index plan cannot run {type(node).__name__}")
+
+    # -- scan plans ------------------------------------------------------
+    def _scan_for(self, relation_name: str) -> SequentialScan:
+        if relation_name not in self._scans:
+            scan = SequentialScan()
+            scan.extend(self.database.relation(relation_name))
+            self._scans[relation_name] = scan
+        return self._scans[relation_name]
+
+    def _run_with_scan(self, plan: Plan, node: Query,
+                       transformation: SpectralTransformation | None,
+                       parameters: Mapping[str, TimeSeries]) -> QueryOutcome:
+        scan = self._scan_for(node.relation)
+        if isinstance(node, RangeQuery):
+            query_series = self._parameter(node.parameter, parameters)
+            early = plan.early_abandon if isinstance(plan, ScanRangePlan) else True
+            result = scan.range_query(query_series, node.epsilon,
+                                      transformation=transformation,
+                                      transform_query=node.transform_query,
+                                      early_abandon=early)
+            return QueryOutcome(plan=plan, answers=result.answers,
+                                statistics=result.statistics)
+        if isinstance(node, NearestNeighborQuery):
+            query_series = self._parameter(node.parameter, parameters)
+            answers = scan.nearest_neighbors(query_series, node.k,
+                                             transformation=transformation,
+                                             transform_query=node.transform_query)
+            return QueryOutcome(plan=plan, answers=answers)
+        if isinstance(node, AllPairsQuery):
+            early = plan.early_abandon if isinstance(plan, ScanJoinPlan) else True
+            pairs, statistics = scan.all_pairs(node.epsilon, transformation=transformation,
+                                               early_abandon=early)
+            return QueryOutcome(plan=plan, answers=pairs, statistics=statistics)
+        raise QueryPlanningError(f"scan plan cannot run {type(node).__name__}")
+
+    @staticmethod
+    def _parameter(name: str, parameters: Mapping[str, TimeSeries]) -> TimeSeries:
+        try:
+            return parameters[name]
+        except KeyError:
+            known = ", ".join(sorted(parameters)) or "<none>"
+            raise QueryPlanningError(
+                f"query parameter ${name} was not bound; bound parameters: {known}"
+            ) from None

@@ -1,0 +1,202 @@
+"""A small textual surface syntax for the query language.
+
+The grammar (case insensitive keywords, ``$name`` for query-object
+parameters)::
+
+    query        := range_query | nn_query | pairs_query
+    range_query  := "SELECT" "FROM" ident
+                    "WHERE" "DIST" "(" "SERIES" "," param ")" "<" number
+                    [ "USING" ident ] [ "RAW" "QUERY" ]
+    nn_query     := "SELECT" "FROM" ident "NEAREST" integer "TO" param
+                    [ "USING" ident ] [ "RAW" "QUERY" ]
+    pairs_query  := "SELECT" "PAIRS" "FROM" ident "WHERE" "DIST" "<" number
+                    [ "USING" ident ]
+    param        := "$" ident
+
+``RAW QUERY`` asks the executor *not* to apply the transformation to the
+query object (by default both sides are transformed, which is how "compare
+the moving averages of the two series" reads most naturally).
+
+Examples
+--------
+>>> parse("SELECT FROM prices WHERE dist(series, $q) < 2.5 USING mavg20")
+RangeQuery(relation='prices', transformation='mavg20', parameter='q', epsilon=2.5, transform_query=True)
+>>> parse("SELECT FROM prices NEAREST 3 TO $q")
+NearestNeighborQuery(relation='prices', transformation=None, parameter='q', k=3, transform_query=True)
+>>> parse("SELECT PAIRS FROM prices WHERE dist < 3.0 USING mavg20")
+AllPairsQuery(relation='prices', transformation='mavg20', epsilon=3.0)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+
+__all__ = ["tokenize", "parse"]
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<number>\d+(?:\.\d+)?)|(?P<param>\$[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)|(?P<symbol>[(),<>]))"
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Split query text into tokens; raises on unrecognised characters."""
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None or match.end() == position:
+            if text[position:].strip() == "":
+                break
+            raise QuerySyntaxError(f"unexpected character {text[position]!r}", position)
+        position = match.end()
+        for kind in ("number", "param", "ident", "symbol"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value, match.start(kind)))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    # -- token utilities ---------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query", len(self.text))
+        self.index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if token.kind != "ident" or token.value.upper() != keyword:
+            raise QuerySyntaxError(f"expected {keyword}, found {token.value!r}",
+                                   token.position)
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._advance()
+        if token.kind != "symbol" or token.value != symbol:
+            raise QuerySyntaxError(f"expected {symbol!r}, found {token.value!r}",
+                                   token.position)
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.value.upper() == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def _identifier(self) -> str:
+        token = self._advance()
+        if token.kind != "ident":
+            raise QuerySyntaxError(f"expected an identifier, found {token.value!r}",
+                                   token.position)
+        return token.value
+
+    def _parameter(self) -> str:
+        token = self._advance()
+        if token.kind != "param":
+            raise QuerySyntaxError(f"expected a $parameter, found {token.value!r}",
+                                   token.position)
+        return token.value[1:]
+
+    def _number(self) -> float:
+        token = self._advance()
+        if token.kind != "number":
+            raise QuerySyntaxError(f"expected a number, found {token.value!r}",
+                                   token.position)
+        return float(token.value)
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        if self._accept_keyword("PAIRS"):
+            return self._pairs_query()
+        self._expect_keyword("FROM")
+        relation = self._identifier()
+        if self._accept_keyword("WHERE"):
+            return self._range_query(relation)
+        if self._accept_keyword("NEAREST"):
+            return self._nn_query(relation)
+        token = self._peek()
+        raise QuerySyntaxError("expected WHERE or NEAREST",
+                               token.position if token else len(self.text))
+
+    def _range_query(self, relation: str) -> RangeQuery:
+        self._expect_keyword("DIST")
+        self._expect_symbol("(")
+        self._expect_keyword("SERIES")
+        self._expect_symbol(",")
+        parameter = self._parameter()
+        self._expect_symbol(")")
+        self._expect_symbol("<")
+        epsilon = self._number()
+        transformation, transform_query = self._suffix()
+        self._end()
+        return RangeQuery(relation=relation, transformation=transformation,
+                          parameter=parameter, epsilon=epsilon,
+                          transform_query=transform_query)
+
+    def _nn_query(self, relation: str) -> NearestNeighborQuery:
+        k = int(self._number())
+        self._expect_keyword("TO")
+        parameter = self._parameter()
+        transformation, transform_query = self._suffix()
+        self._end()
+        return NearestNeighborQuery(relation=relation, transformation=transformation,
+                                    parameter=parameter, k=k,
+                                    transform_query=transform_query)
+
+    def _pairs_query(self) -> AllPairsQuery:
+        self._expect_keyword("FROM")
+        relation = self._identifier()
+        self._expect_keyword("WHERE")
+        self._expect_keyword("DIST")
+        self._expect_symbol("<")
+        epsilon = self._number()
+        transformation, _ = self._suffix()
+        self._end()
+        return AllPairsQuery(relation=relation, transformation=transformation,
+                             epsilon=epsilon)
+
+    def _suffix(self) -> tuple[str | None, bool]:
+        transformation = None
+        transform_query = True
+        if self._accept_keyword("USING"):
+            transformation = self._identifier()
+        if self._accept_keyword("RAW"):
+            self._expect_keyword("QUERY")
+            transform_query = False
+        return transformation, transform_query
+
+    def _end(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise QuerySyntaxError(f"unexpected trailing input {token.value!r}",
+                                   token.position)
+
+
+def parse(text: str) -> Query:
+    """Parse query text into an AST node."""
+    return _Parser(tokenize(text), text).parse()

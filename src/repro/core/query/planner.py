@@ -1,0 +1,196 @@
+"""Physical planning: choose how a similarity query will be executed.
+
+For each logical query the planner picks between an **index plan** (use the
+k-index registered for the relation, traversed under the query's
+transformation) and a **scan plan** (sequential scan with early abandoning).
+The choice rules encode the findings of the evaluation:
+
+* with no index registered there is nothing to choose;
+* a transformation that is not safe for the index's feature space cannot be
+  pushed into the index, so the scan plan is used;
+* very unselective range queries (threshold so large that a big fraction of
+  the relation qualifies) are better served by the scan — the crossover the
+  answer-set-size experiment measures; the planner uses a crude selectivity
+  estimate based on the threshold relative to the spread of indexed points.
+
+The planner produces small plan dataclasses; the executor interprets them.
+An ``explain`` helper renders a plan as a one-line string for logging and for
+the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..database import Database
+from ..errors import QueryPlanningError
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+
+__all__ = [
+    "Plan",
+    "IndexRangePlan",
+    "ScanRangePlan",
+    "IndexNearestPlan",
+    "ScanNearestPlan",
+    "IndexJoinPlan",
+    "ScanJoinPlan",
+    "Planner",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Base class for physical plans."""
+
+    query: Query
+    reason: str
+
+
+@dataclass(frozen=True)
+class IndexRangePlan(Plan):
+    """Answer a range query with the registered k-index."""
+
+    index_name: str = "default"
+
+
+@dataclass(frozen=True)
+class ScanRangePlan(Plan):
+    """Answer a range query with a sequential scan."""
+
+    early_abandon: bool = True
+
+
+@dataclass(frozen=True)
+class IndexNearestPlan(Plan):
+    """Answer a nearest-neighbour query with the registered k-index."""
+
+    index_name: str = "default"
+
+
+@dataclass(frozen=True)
+class ScanNearestPlan(Plan):
+    """Answer a nearest-neighbour query with a sequential scan."""
+
+
+@dataclass(frozen=True)
+class IndexJoinPlan(Plan):
+    """Answer an all-pairs query with index probes."""
+
+    index_name: str = "default"
+
+
+@dataclass(frozen=True)
+class ScanJoinPlan(Plan):
+    """Answer an all-pairs query with a nested scan."""
+
+    early_abandon: bool = True
+
+
+class Planner:
+    """Chooses a physical plan given the database catalog.
+
+    Parameters
+    ----------
+    database:
+        The catalog (relations and registered indexes).
+    selectivity_crossover:
+        Estimated fraction of the relation beyond which a range query is
+        assumed cheaper by scanning (the evaluation observed roughly one
+        third of the relation).
+    """
+
+    def __init__(self, database: Database, selectivity_crossover: float = 0.33) -> None:
+        self.database = database
+        self.selectivity_crossover = float(selectivity_crossover)
+
+    def plan(self, query: Query, *, transformation=None) -> Plan:
+        """Produce the physical plan for a parsed query.
+
+        ``transformation`` is the resolved transformation object (or ``None``)
+        — the planner needs it to check index safety; name resolution happens
+        in the executor, which passes the object down.
+        """
+        if query.relation not in self.database:
+            raise QueryPlanningError(f"unknown relation {query.relation!r}")
+        if isinstance(query, RangeQuery):
+            return self._plan_range(query, transformation)
+        if isinstance(query, NearestNeighborQuery):
+            return self._plan_nearest(query, transformation)
+        if isinstance(query, AllPairsQuery):
+            return self._plan_join(query, transformation)
+        raise QueryPlanningError(f"cannot plan query of type {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    def _index_usable(self, query: Query, transformation) -> tuple[bool, str]:
+        if not self.database.has_index(query.relation):
+            return False, "no index registered for the relation"
+        if transformation is None:
+            return True, "index available"
+        index = self.database.index(query.relation)
+        space = getattr(index, "space", None)
+        extractor = getattr(index, "extractor", None)
+        if space is None or extractor is None:
+            return True, "index available (unknown kind, assuming compatible)"
+        try:
+            linear = transformation.to_linear(extractor.num_coefficients,
+                                              include_extra=extractor.include_stats)
+        except Exception as error:  # noqa: BLE001 - any failure means "cannot push down"
+            return False, f"transformation cannot be applied to the index ({error})"
+        if not linear.is_safe_for(space):
+            return False, "transformation is not safe for the index's feature space"
+        return True, "index available and transformation is safe"
+
+    def _estimate_selectivity(self, query: RangeQuery) -> float:
+        """Fraction of the relation a range query is expected to return.
+
+        Uses the spread of the indexed points (when an index exists) as a
+        scale: a threshold comparable to the data diameter catches most of
+        the relation.  This is deliberately crude — it only needs to separate
+        "tiny answer set" from "a third of the relation".
+        """
+        if not self.database.has_index(query.relation):
+            return 0.0
+        index = self.database.index(query.relation)
+        tree = getattr(index, "tree", None)
+        if tree is None or len(tree) == 0:
+            return 0.0
+        try:
+            root_mbr = tree.root.mbr()
+        except Exception:  # noqa: BLE001 - an empty root has no MBR
+            return 0.0
+        diameter = float(np.linalg.norm(root_mbr.high - root_mbr.low))
+        if diameter == 0.0:
+            return 1.0
+        return min(1.0, (2.0 * query.epsilon) / diameter)
+
+    def _plan_range(self, query: RangeQuery, transformation) -> Plan:
+        usable, reason = self._index_usable(query, transformation)
+        if not usable:
+            return ScanRangePlan(query=query, reason=reason)
+        selectivity = self._estimate_selectivity(query)
+        if selectivity > self.selectivity_crossover:
+            return ScanRangePlan(
+                query=query,
+                reason=(f"estimated selectivity {selectivity:.2f} exceeds the index/scan "
+                        f"crossover {self.selectivity_crossover:.2f}"))
+        return IndexRangePlan(query=query, reason=reason)
+
+    def _plan_nearest(self, query: NearestNeighborQuery, transformation) -> Plan:
+        usable, reason = self._index_usable(query, transformation)
+        if usable:
+            return IndexNearestPlan(query=query, reason=reason)
+        return ScanNearestPlan(query=query, reason=reason)
+
+    def _plan_join(self, query: AllPairsQuery, transformation) -> Plan:
+        usable, reason = self._index_usable(query, transformation)
+        if usable:
+            return IndexJoinPlan(query=query, reason=reason)
+        return ScanJoinPlan(query=query, reason=reason)
+
+
+def explain(plan: Plan) -> str:
+    """One-line human-readable description of a plan."""
+    return f"{type(plan).__name__} on {plan.query.relation!r}: {plan.reason}"

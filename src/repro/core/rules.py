@@ -1,0 +1,151 @@
+"""Transformation rule sets — the "rule language" side of ``T``.
+
+The framework does not fix a single transformation; a query names a *set* of
+allowed transformations (each with its cost), and similarity is defined over
+sequences drawn from that set.  :class:`TransformationRuleSet` is the
+container the similarity engine and the query language work with.  It knows
+how to:
+
+* register transformations by name,
+* enumerate all composite transformations whose cost stays within a budget
+  (breadth-first over composition, with configurable depth/size limits),
+* answer "which single transformation has this name?" for the query parser.
+
+For feature-space work, :func:`compose_linear` folds a list of
+:class:`~repro.core.transformations.LinearTransformation` into a single one,
+which is how e.g. "take the 20-day moving average three times" becomes one
+multiplier vector handed to the index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from .cost import AdditiveCostModel, CostModel
+from .errors import TransformationError
+from .transformations import (
+    ComposedTransformation,
+    IdentityTransformation,
+    LinearTransformation,
+    Transformation,
+)
+
+__all__ = ["TransformationRuleSet", "compose_linear"]
+
+
+def compose_linear(transformations: Sequence[LinearTransformation]) -> LinearTransformation:
+    """Fold a sequence of linear transformations (applied left to right) into one."""
+    if not transformations:
+        raise TransformationError("cannot compose an empty sequence of transformations")
+    result = transformations[0]
+    for transformation in transformations[1:]:
+        result = result.compose(transformation)
+    return result
+
+
+class TransformationRuleSet:
+    """A named collection of allowed transformations with a cost model."""
+
+    def __init__(self, transformations: Iterable[Transformation] = (),
+                 cost_model: CostModel | None = None,
+                 include_identity: bool = True) -> None:
+        self.cost_model = cost_model if cost_model is not None else AdditiveCostModel()
+        self._by_name: dict[str, Transformation] = {}
+        if include_identity:
+            self.add(IdentityTransformation())
+        for transformation in transformations:
+            self.add(transformation)
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def add(self, transformation: Transformation) -> None:
+        """Register a transformation; names must be unique within the set."""
+        self.cost_model.validate(transformation.cost)
+        if transformation.name in self._by_name:
+            raise TransformationError(
+                f"a transformation named {transformation.name!r} is already registered"
+            )
+        self._by_name[transformation.name] = transformation
+
+    def get(self, name: str) -> Transformation:
+        """Look a transformation up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(sorted(self._by_name))
+            raise TransformationError(
+                f"unknown transformation {name!r}; known: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Transformation]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> list[str]:
+        """Registered transformation names, in insertion order."""
+        return list(self._by_name)
+
+    # ------------------------------------------------------------------
+    # bounded-cost closure
+    # ------------------------------------------------------------------
+    def sequences_within(self, cost_bound: float, max_length: int = 3,
+                         max_sequences: int = 10000) -> Iterator[Transformation]:
+        """Enumerate composite transformations with total cost <= ``cost_bound``.
+
+        The enumeration is breadth first in sequence length: first the empty
+        sequence (identity), then every single transformation, then every
+        pair, and so on up to ``max_length`` steps.  ``max_sequences`` caps
+        the total number of results so a zero-cost rule set cannot produce an
+        unbounded stream.
+
+        Yields :class:`Transformation` objects (plain ones for length one,
+        :class:`ComposedTransformation` for longer sequences).
+        """
+        if cost_bound < 0:
+            return
+        produced = 0
+        identity = IdentityTransformation()
+        yield identity
+        produced += 1
+        # Frontier holds (sequence of steps, combined cost).
+        frontier: list[tuple[list[Transformation], float]] = [([], 0.0)]
+        non_identity = [t for t in self._by_name.values()
+                        if not isinstance(t, IdentityTransformation)]
+        for _ in range(max_length):
+            next_frontier: list[tuple[list[Transformation], float]] = []
+            for steps, cost_so_far in frontier:
+                for transformation in non_identity:
+                    combined = self.cost_model.combine(cost_so_far, transformation.cost)
+                    if not self.cost_model.within_budget(combined, cost_bound):
+                        continue
+                    new_steps = steps + [transformation]
+                    next_frontier.append((new_steps, combined))
+                    if len(new_steps) == 1:
+                        yield new_steps[0]
+                    else:
+                        yield ComposedTransformation(new_steps)
+                    produced += 1
+                    if produced >= max_sequences:
+                        return
+            frontier = next_frontier
+            if not frontier:
+                return
+
+    def cheapest(self) -> Transformation | None:
+        """The cheapest non-identity transformation, or ``None`` if the set is
+        empty (useful for lower bounds during search)."""
+        candidates = [t for t in self._by_name.values()
+                      if not isinstance(t, IdentityTransformation)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda t: t.cost)
+
+    def __repr__(self) -> str:
+        return f"TransformationRuleSet({self.names})"

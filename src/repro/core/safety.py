@@ -1,0 +1,146 @@
+"""Safety of transformations with respect to a feature space.
+
+Definition 1 of the companion text: a transformation ``T`` is *safe* in a
+multidimensional space ``S`` when it maps every rectangle ``R`` of ``S`` to a
+rectangle ``R'``, every point inside ``R`` to a point inside ``R'``, and
+every point outside ``R`` to a point outside ``R'``.  Safety is exactly the
+property that lets an R-tree built on the original data be traversed as if it
+had been built on the transformed data: transforming every bounding rectangle
+on the way down never loses an answer.
+
+Three results are encoded here (and re-verified empirically by the test
+suite):
+
+* **Theorem 1** — a per-dimension real stretch plus a real translation is
+  safe in any real space.
+* **Theorem 2** — ``(a, b)`` with real ``a`` and complex ``b`` is safe with
+  respect to ``Srect`` (real/imaginary layout).
+* **Theorem 3** — ``(a, b)`` with complex ``a`` and ``b = 0`` is safe with
+  respect to ``Spol`` (magnitude/phase layout).
+
+A complex multiplier is *not* safe in ``Srect``: it rotates the plane of each
+feature, so the image of an axis-aligned rectangle is a rotated rectangle,
+and containment relative to its axis-aligned bounding box is not preserved.
+:func:`complex_multiplier_counterexample` reproduces the counterexample from
+the text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .errors import UnsafeTransformationError
+from .spaces import FeatureSpace, PolarSpace, RectangularSpace
+from .transformations import LinearTransformation, RealLinearTransformation
+
+__all__ = [
+    "is_safe",
+    "ensure_safe",
+    "safe_space_for",
+    "complex_multiplier_counterexample",
+    "empirical_safety_check",
+]
+
+
+def is_safe(transformation: LinearTransformation, space: FeatureSpace) -> bool:
+    """Whether ``transformation`` is safe with respect to ``space``.
+
+    This is a thin, readable wrapper over
+    :meth:`LinearTransformation.is_safe_for`, provided so that safety checks
+    read naturally at call sites (``if is_safe(t, space): ...``).
+    """
+    return transformation.is_safe_for(space)
+
+
+def ensure_safe(transformation: LinearTransformation, space: FeatureSpace) -> None:
+    """Raise :class:`UnsafeTransformationError` unless the transformation is
+    safe for ``space``."""
+    if not is_safe(transformation, space):
+        raise UnsafeTransformationError(
+            f"transformation {transformation.name!r} is not safe for space {space.name}"
+        )
+
+
+def safe_space_for(transformation: LinearTransformation,
+                   num_extra: int | None = None) -> FeatureSpace:
+    """Pick a feature space in which ``transformation`` is safe.
+
+    Preference order follows the companion evaluation: the polar space is
+    chosen when the multiplier is genuinely complex (vector multiplication —
+    moving averages, warping — "seemed to be more important than vector
+    addition"), otherwise the rectangular space, which additionally supports
+    complex offsets.
+
+    Raises :class:`UnsafeTransformationError` when the transformation has
+    both a complex multiplier and a non-zero offset: no axis-aligned
+    representation makes that combination safe.
+    """
+    extra = transformation.num_extra if num_extra is None else num_extra
+    rect = RectangularSpace(transformation.num_features, extra)
+    polar = PolarSpace(transformation.num_features, extra)
+    multiplier_is_real = bool(np.allclose(transformation.multiplier.imag, 0.0, atol=1e-12))
+    if multiplier_is_real:
+        return rect
+    if transformation.is_safe_for(polar):
+        return polar
+    raise UnsafeTransformationError(
+        f"transformation {transformation.name!r} has a complex multiplier and a "
+        "non-zero offset; it is safe in neither Srect nor Spol"
+    )
+
+
+def complex_multiplier_counterexample() -> dict[str, complex]:
+    """The counterexample showing a complex multiplier is unsafe in ``Srect``.
+
+    Multiplying the rectangle with corners ``-5-5j`` and ``5+5j`` (and the
+    interior point ``-2+2j``) by ``2-3j`` produces an axis-aligned bounding
+    box that no longer contains the image of the interior point.  The mapping
+    is returned so tests and documentation can restate it.
+    """
+    s = 2 - 3j
+    p, q, r = -5 - 5j, 5 + 5j, -2 + 2j
+    return {
+        "multiplier": s,
+        "corner_low": p,
+        "corner_high": q,
+        "interior_point": r,
+        "image_low": p * s,
+        "image_high": q * s,
+        "image_point": r * s,
+    }
+
+
+def empirical_safety_check(transformation: RealLinearTransformation,
+                           low: Sequence[float] | np.ndarray,
+                           high: Sequence[float] | np.ndarray,
+                           points: np.ndarray,
+                           tolerance: float = 1e-9) -> bool:
+    """Check Definition 1 empirically for a lowered (real) transformation.
+
+    ``points`` is an ``(m, d)`` array of probe points.  The function verifies
+    that each probe keeps its inside/outside status relative to the image
+    rectangle computed by :meth:`RealLinearTransformation.apply_bounds`.
+    Points lying exactly on the boundary (within ``tolerance``) are skipped,
+    because their status is not determined by the definition.
+    """
+    low = np.asarray(low, dtype=np.float64)
+    high = np.asarray(high, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    image_low, image_high = transformation.apply_bounds(low, high)
+    for point in points:
+        on_boundary = bool(
+            np.any(np.isclose(point, low, atol=tolerance))
+            or np.any(np.isclose(point, high, atol=tolerance))
+        )
+        if on_boundary:
+            continue
+        inside_before = bool(np.all(point >= low - tolerance)
+                             and np.all(point <= high + tolerance))
+        image = transformation.apply(point)
+        inside_after = bool(np.all(image >= image_low - tolerance)
+                            and np.all(image <= image_high + tolerance))
+        if inside_before != inside_after:
+            return False
+    return True

@@ -1,0 +1,325 @@
+"""The similarity engine: cost-bounded transformation distance and predicate.
+
+This module implements the framework's central definitions generically, for
+*any* domain whose objects can be compared with a base distance and rewritten
+by transformations:
+
+* :func:`transformation_distance` — the dissimilarity measure
+
+  .. math::
+
+     D(x, y) = \\min \\begin{cases}
+        D_0(x, y) \\\\
+        \\min_{T} \\bigl(cost(T) + D(T(x), y)\\bigr) \\\\
+        \\min_{T} \\bigl(cost(T) + D(x, T(y))\\bigr) \\\\
+        \\min_{T_1, T_2} \\bigl(cost(T_1) + cost(T_2) + D(T_1(x), T_2(y))\\bigr)
+     \\end{cases}
+
+  computed by best-first search over pairs of rewritten objects, with a cost
+  budget and state limits to guarantee termination.
+
+* :func:`is_similar` / :class:`SimilarityEngine.similar` — the predicate
+  ``sim(A, e, T, c)``: object ``A`` is similar to pattern ``e`` when a
+  transformation sequence drawn from ``T`` with total cost at most ``c`` maps
+  ``A`` to an object matching ``e`` (for metric domains, "matching" is
+  "within ``epsilon`` of a member of ``e``").
+
+The engine is deliberately domain agnostic: a ``key`` function turns objects
+into hashable state keys (so the search can detect revisits), the base
+distance is injected, and the transformations come from a
+:class:`~repro.core.rules.TransformationRuleSet`.  The time-series and string
+packages provide convenience constructors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .cost import AdditiveCostModel, CostModel
+from .patterns import ConstantPattern, Pattern, PatternContext
+from .rules import TransformationRuleSet
+from .transformations import IdentityTransformation, Transformation
+
+__all__ = [
+    "default_key",
+    "SimilarityResult",
+    "SimilarityEngine",
+    "transformation_distance",
+    "is_similar",
+]
+
+
+def default_key(obj: Any, precision: int = 9) -> Any:
+    """A hashable key for an arbitrary object.
+
+    Numpy arrays are rounded to ``precision`` decimals and serialised to
+    bytes; other objects are used directly when hashable and fall back to
+    ``repr`` otherwise.
+    """
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.shape, np.round(obj, precision).tobytes())
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(default_key(item, precision) for item in obj))
+    try:
+        hash(obj)
+    except TypeError:
+        return ("repr", repr(obj))
+    return obj
+
+
+@dataclass
+class SimilarityResult:
+    """Outcome of a similarity evaluation.
+
+    Attributes
+    ----------
+    similar:
+        Whether the predicate holds.
+    distance:
+        The best value of ``cost + D0`` found (``math.inf`` when nothing was
+        within the bounds).
+    cost:
+        Transformation cost of the best solution.
+    base_distance:
+        Residual base distance of the best solution.
+    left_steps, right_steps:
+        The transformation sequences applied to the left and right objects of
+        the best solution (empty when none were needed).
+    states_explored:
+        Number of search states expanded (useful for benchmarking).
+    """
+
+    similar: bool
+    distance: float = math.inf
+    cost: float = 0.0
+    base_distance: float = math.inf
+    left_steps: list[Transformation] = field(default_factory=list)
+    right_steps: list[Transformation] = field(default_factory=list)
+    states_explored: int = 0
+
+
+class SimilarityEngine:
+    """Evaluates transformation distances and similarity predicates.
+
+    Parameters
+    ----------
+    rules:
+        The allowed transformations and their costs.
+    base_distance:
+        ``D0``; a callable ``(x, y) -> float``.
+    cost_model:
+        How costs combine (additive by default).
+    key:
+        Turns an object into a hashable search key.
+    max_states:
+        Hard cap on expanded search states (termination guarantee).
+    max_steps_per_side:
+        Longest transformation sequence considered on either object.
+    """
+
+    def __init__(self, rules: TransformationRuleSet,
+                 base_distance: Callable[[Any, Any], float], *,
+                 cost_model: CostModel | None = None,
+                 key: Callable[[Any], Any] = default_key,
+                 max_states: int = 20000,
+                 max_steps_per_side: int = 4) -> None:
+        self.rules = rules
+        self.base_distance = base_distance
+        self.cost_model = cost_model if cost_model is not None else AdditiveCostModel()
+        self.key = key
+        self.max_states = int(max_states)
+        self.max_steps_per_side = int(max_steps_per_side)
+
+    # ------------------------------------------------------------------
+    # distance
+    # ------------------------------------------------------------------
+    def distance(self, x: Any, y: Any, *, cost_bound: float = math.inf) -> SimilarityResult:
+        """Compute the transformation distance between two objects.
+
+        Performs a uniform-cost (Dijkstra-style) search over states
+        ``(x', y')`` reachable by applying allowed transformations to either
+        side.  Each expanded state contributes a candidate value
+        ``accumulated cost + D0(x', y')``; the minimum over all states within
+        the cost bound is returned.
+        """
+        counter = itertools.count()
+        start = (x, y, 0, 0)
+        start_cost = 0.0
+        best = SimilarityResult(similar=False)
+        heap: list[tuple[float, int, tuple[Any, Any, int, int], float,
+                         list[Transformation], list[Transformation]]] = []
+        heapq.heappush(heap, (0.0, next(counter), start, start_cost, [], []))
+        visited: dict[Any, float] = {}
+        explored = 0
+        transformations = [t for t in self.rules
+                           if not isinstance(t, IdentityTransformation)]
+        while heap and explored < self.max_states:
+            cost, _, state, _, left_steps, right_steps = heapq.heappop(heap)
+            current_x, current_y, left_len, right_len = state
+            state_key = (self.key(current_x), self.key(current_y))
+            if state_key in visited and visited[state_key] <= cost:
+                continue
+            visited[state_key] = cost
+            explored += 1
+            base = float(self.base_distance(current_x, current_y))
+            total = self.cost_model.combine(cost, base) if math.isfinite(base) else math.inf
+            if total < best.distance:
+                best = SimilarityResult(
+                    similar=True,
+                    distance=total,
+                    cost=cost,
+                    base_distance=base,
+                    left_steps=list(left_steps),
+                    right_steps=list(right_steps),
+                )
+            # Expand: apply each transformation to either side.
+            for transformation in transformations:
+                new_cost = self.cost_model.combine(cost, transformation.cost)
+                if not self.cost_model.within_budget(new_cost, cost_bound):
+                    continue
+                # Pruning: a state whose accumulated cost already exceeds the
+                # best total found cannot improve the answer (base >= 0).
+                if new_cost >= best.distance:
+                    continue
+                if left_len < self.max_steps_per_side:
+                    try:
+                        new_x = transformation.apply(current_x)
+                    except Exception:  # noqa: BLE001 - domain transformation may reject
+                        new_x = None
+                    if new_x is not None:
+                        heapq.heappush(heap, (new_cost, next(counter),
+                                              (new_x, current_y, left_len + 1, right_len),
+                                              new_cost, left_steps + [transformation],
+                                              list(right_steps)))
+                if right_len < self.max_steps_per_side:
+                    try:
+                        new_y = transformation.apply(current_y)
+                    except Exception:  # noqa: BLE001
+                        new_y = None
+                    if new_y is not None:
+                        heapq.heappush(heap, (new_cost, next(counter),
+                                              (current_x, new_y, left_len, right_len + 1),
+                                              new_cost, list(left_steps),
+                                              right_steps + [transformation]))
+        best.states_explored = explored
+        best.similar = math.isfinite(best.distance)
+        return best
+
+    # ------------------------------------------------------------------
+    # predicate
+    # ------------------------------------------------------------------
+    def similar(self, obj: Any, pattern: Pattern | Any, *, cost_bound: float,
+                epsilon: float = 0.0,
+                context: PatternContext | None = None) -> SimilarityResult:
+        """Evaluate ``sim(obj, pattern, rules, cost_bound)``.
+
+        ``pattern`` may be a :class:`Pattern` or a raw object (wrapped in a
+        :class:`ConstantPattern`).  The object is similar to the pattern when
+        some transformation sequence of cost at most ``cost_bound`` rewrites
+        it into an object within ``epsilon`` (base distance) of a member of
+        the pattern; for non-metric patterns the rewritten object must
+        *match* the pattern.
+        """
+        if not isinstance(pattern, Pattern):
+            pattern = ConstantPattern(pattern)
+        counter = itertools.count()
+        heap: list[tuple[float, int, Any, list[Transformation]]] = []
+        heapq.heappush(heap, (0.0, next(counter), obj, []))
+        visited: dict[Any, float] = {}
+        explored = 0
+        best = SimilarityResult(similar=False)
+        transformations = [t for t in self.rules
+                           if not isinstance(t, IdentityTransformation)]
+        targets: list[Any] | None = None
+        if pattern.is_enumerable():
+            try:
+                targets = list(pattern.enumerate(context))
+            except Exception:  # noqa: BLE001 - fall back to matches()
+                targets = None
+        while heap and explored < self.max_states:
+            cost, _, current, steps = heapq.heappop(heap)
+            state_key = self.key(current)
+            if state_key in visited and visited[state_key] <= cost:
+                continue
+            visited[state_key] = cost
+            explored += 1
+            matched, residual = self._match(current, pattern, targets, epsilon, context)
+            if matched:
+                total = self.cost_model.combine(cost, residual)
+                if total < best.distance:
+                    best = SimilarityResult(similar=True, distance=total, cost=cost,
+                                            base_distance=residual,
+                                            left_steps=list(steps))
+                # Uniform-cost search pops states in cost order, so the first
+                # match is optimal in cost; keep searching only if a cheaper
+                # residual could still matter to callers comparing distances.
+                if residual <= 0.0:
+                    break
+            if len(steps) >= self.max_steps_per_side:
+                continue
+            for transformation in transformations:
+                new_cost = self.cost_model.combine(cost, transformation.cost)
+                if not self.cost_model.within_budget(new_cost, cost_bound):
+                    continue
+                try:
+                    rewritten = transformation.apply(current)
+                except Exception:  # noqa: BLE001
+                    continue
+                heapq.heappush(heap, (new_cost, next(counter), rewritten,
+                                      steps + [transformation]))
+        best.states_explored = explored
+        return best
+
+    def _match(self, obj: Any, pattern: Pattern, targets: list[Any] | None,
+               epsilon: float, context: PatternContext | None
+               ) -> tuple[bool, float]:
+        """Whether ``obj`` satisfies the pattern; returns (matched, residual D0)."""
+        if targets is not None and epsilon >= 0.0:
+            best = math.inf
+            for target in targets:
+                try:
+                    d = float(self.base_distance(obj, target))
+                except Exception:  # noqa: BLE001 - incomparable objects never match
+                    continue
+                best = min(best, d)
+            if best <= epsilon:
+                return True, best
+            return False, best
+        if pattern.matches(obj, context):
+            return True, 0.0
+        return False, math.inf
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences
+# ---------------------------------------------------------------------------
+def transformation_distance(x: Any, y: Any, rules: TransformationRuleSet,
+                            base_distance: Callable[[Any, Any], float], *,
+                            cost_bound: float = math.inf,
+                            max_states: int = 20000,
+                            max_steps_per_side: int = 4,
+                            key: Callable[[Any], Any] = default_key) -> float:
+    """The transformation distance ``D(x, y)`` (a bare float)."""
+    engine = SimilarityEngine(rules, base_distance, key=key, max_states=max_states,
+                              max_steps_per_side=max_steps_per_side)
+    return engine.distance(x, y, cost_bound=cost_bound).distance
+
+
+def is_similar(obj: Any, pattern: Pattern | Any, rules: TransformationRuleSet,
+               base_distance: Callable[[Any, Any], float], *, cost_bound: float,
+               epsilon: float = 0.0, max_states: int = 20000,
+               max_steps_per_side: int = 4,
+               key: Callable[[Any], Any] = default_key,
+               context: PatternContext | None = None) -> bool:
+    """The similarity predicate ``sim(obj, pattern, rules, cost_bound)``."""
+    engine = SimilarityEngine(rules, base_distance, key=key, max_states=max_states,
+                              max_steps_per_side=max_steps_per_side)
+    return engine.similar(obj, pattern, cost_bound=cost_bound, epsilon=epsilon,
+                          context=context).similar

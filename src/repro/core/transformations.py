@@ -1,0 +1,387 @@
+"""The transformation language ``T``.
+
+A transformation maps an object (or a point representing it) to another
+object in the same domain, and carries a non-negative *cost*.  Similarity is
+defined through transformations: an object is similar to a pattern when a
+cheap-enough sequence of transformations turns it into something that matches
+the pattern.
+
+Two layers are provided:
+
+**Object-level transformations** (:class:`Transformation` and its generic
+subclasses) operate on whole domain objects — a string edit, "take the 20-day
+moving average of this series", etc.  They are what the generic bounded-cost
+similarity engine (:mod:`repro.core.similarity`) enumerates.
+
+**Feature-space transformations** (:class:`LinearTransformation` and
+:class:`RealLinearTransformation`) are the restricted class the indexing
+machinery understands: a pair ``(a, b)`` where ``a`` is a per-feature
+multiplier (a *stretch*) and ``b`` a per-feature offset (a *translation*),
+applied as ``x -> a * x + b``.  Despite their simplicity they are expressive
+enough for shifting, scaling, reversing, moving averages and time warping
+(the domain packages construct the appropriate coefficient vectors).  A
+linear transformation can be lowered to a per-real-coordinate scale/shift for
+a concrete feature space when it is *safe* for that space (Theorems 1–3; see
+:mod:`repro.core.safety`), which is what lets an R-tree be traversed "through"
+the transformation with no false dismissals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from .errors import (
+    DimensionMismatchError,
+    TransformationError,
+    UnsafeTransformationError,
+)
+from .objects import FeatureVector
+from .spaces import FeatureSpace, PolarSpace, RectangularSpace
+
+__all__ = [
+    "Transformation",
+    "IdentityTransformation",
+    "FunctionTransformation",
+    "ComposedTransformation",
+    "LinearTransformation",
+    "RealLinearTransformation",
+]
+
+
+# ---------------------------------------------------------------------------
+# object-level transformations
+# ---------------------------------------------------------------------------
+class Transformation:
+    """A cost-carrying mapping from objects to objects.
+
+    Subclasses implement :meth:`apply`.  The meaning of the argument is
+    domain-specific: the generic similarity engine simply threads whatever
+    the caller passed in (a string, a numpy array, a
+    :class:`~repro.core.objects.DataObject`...).
+    """
+
+    def __init__(self, cost: float = 0.0, name: str | None = None) -> None:
+        cost = float(cost)
+        if cost < 0:
+            raise ValueError("transformation cost must be non-negative")
+        self.cost = cost
+        self.name = name if name is not None else type(self).__name__
+
+    def apply(self, obj: Any) -> Any:
+        """Apply the transformation to ``obj`` and return the new object."""
+        raise NotImplementedError
+
+    def then(self, other: "Transformation") -> "ComposedTransformation":
+        """The composition "``self`` first, then ``other``"."""
+        return ComposedTransformation([self, other])
+
+    def __call__(self, obj: Any) -> Any:
+        return self.apply(obj)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, cost={self.cost})"
+
+
+class IdentityTransformation(Transformation):
+    """The transformation that leaves every object unchanged (cost zero)."""
+
+    def __init__(self) -> None:
+        super().__init__(cost=0.0, name="identity")
+
+    def apply(self, obj: Any) -> Any:
+        return obj
+
+
+class FunctionTransformation(Transformation):
+    """Wraps an arbitrary callable as a transformation."""
+
+    def __init__(self, func: Callable[[Any], Any], cost: float = 0.0,
+                 name: str | None = None) -> None:
+        super().__init__(cost=cost, name=name or getattr(func, "__name__", "function"))
+        self._func = func
+
+    def apply(self, obj: Any) -> Any:
+        return self._func(obj)
+
+
+class ComposedTransformation(Transformation):
+    """A sequence of transformations applied left to right.
+
+    The cost is the sum of the component costs (the additive model; callers
+    needing a different combination rule should combine costs themselves via
+    :mod:`repro.core.cost`).
+    """
+
+    def __init__(self, steps: Sequence[Transformation], name: str | None = None) -> None:
+        steps = list(steps)
+        if not steps:
+            raise TransformationError("a composed transformation needs at least one step")
+        total = sum(step.cost for step in steps)
+        super().__init__(cost=total,
+                         name=name or " . ".join(step.name for step in steps))
+        self.steps = steps
+
+    def apply(self, obj: Any) -> Any:
+        for step in self.steps:
+            obj = step.apply(obj)
+        return obj
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# feature-space transformations
+# ---------------------------------------------------------------------------
+class LinearTransformation(Transformation):
+    """The pair ``(a, b)`` acting on complex feature vectors as ``a * x + b``.
+
+    Parameters
+    ----------
+    multiplier:
+        Complex (or real) vector of per-feature stretches ``a``.
+    offset:
+        Complex (or real) vector of per-feature translations ``b``.  Defaults
+        to the zero vector.
+    extra_multiplier, extra_offset:
+        Real scale/shift applied to the *extra* real coordinates a feature
+        space may carry in front of the complex features (e.g. the mean and
+        standard deviation stored by the time-series k-index).  Default to
+        ones and zeros respectively.
+    cost, name:
+        As for every :class:`Transformation`.
+    """
+
+    def __init__(self, multiplier: Sequence[complex] | np.ndarray,
+                 offset: Sequence[complex] | np.ndarray | None = None, *,
+                 extra_multiplier: Sequence[float] | np.ndarray | None = None,
+                 extra_offset: Sequence[float] | np.ndarray | None = None,
+                 cost: float = 0.0, name: str | None = None) -> None:
+        super().__init__(cost=cost, name=name or "linear")
+        self.multiplier = np.asarray(multiplier, dtype=np.complex128).reshape(-1).copy()
+        if offset is None:
+            offset = np.zeros(self.multiplier.shape[0], dtype=np.complex128)
+        self.offset = np.asarray(offset, dtype=np.complex128).reshape(-1).copy()
+        if self.offset.shape != self.multiplier.shape:
+            raise DimensionMismatchError(
+                f"multiplier has {self.multiplier.shape[0]} features but offset "
+                f"has {self.offset.shape[0]}"
+            )
+        if extra_multiplier is None:
+            extra_multiplier = np.ones(0)
+        if extra_offset is None:
+            extra_offset = np.zeros(len(np.atleast_1d(extra_multiplier)))
+        self.extra_multiplier = np.asarray(extra_multiplier, dtype=np.float64).reshape(-1).copy()
+        self.extra_offset = np.asarray(extra_offset, dtype=np.float64).reshape(-1).copy()
+        if self.extra_offset.shape != self.extra_multiplier.shape:
+            raise DimensionMismatchError("extra_multiplier / extra_offset length mismatch")
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def identity(cls, num_features: int, num_extra: int = 0,
+                 name: str = "identity") -> "LinearTransformation":
+        """The identity transformation ``(1, 0)`` of the given arity."""
+        return cls(np.ones(num_features), np.zeros(num_features),
+                   extra_multiplier=np.ones(num_extra),
+                   extra_offset=np.zeros(num_extra), cost=0.0, name=name)
+
+    @property
+    def num_features(self) -> int:
+        """Number of complex features the transformation acts on."""
+        return int(self.multiplier.shape[0])
+
+    @property
+    def num_extra(self) -> int:
+        """Number of extra real coordinates the transformation acts on."""
+        return int(self.extra_multiplier.shape[0])
+
+    def is_identity(self, tolerance: float = 0.0) -> bool:
+        """Whether the transformation leaves every point unchanged."""
+        return (np.allclose(self.multiplier, 1.0, atol=tolerance)
+                and np.allclose(self.offset, 0.0, atol=tolerance)
+                and np.allclose(self.extra_multiplier, 1.0, atol=tolerance)
+                and np.allclose(self.extra_offset, 0.0, atol=tolerance))
+
+    # -- application ---------------------------------------------------------
+    def apply(self, obj: Any) -> Any:
+        """Apply to a complex feature vector (numpy array or sequence)."""
+        feats = np.asarray(obj, dtype=np.complex128)
+        if feats.shape[-1] != self.num_features:
+            raise DimensionMismatchError(
+                f"expected {self.num_features} features, got {feats.shape[-1]}"
+            )
+        return feats * self.multiplier + self.offset
+
+    def apply_features(self, extra: np.ndarray, feats: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply to the ``(extra, complex features)`` decomposition of a point."""
+        extra = np.asarray(extra, dtype=np.float64)
+        if extra.shape[-1] != self.num_extra:
+            raise DimensionMismatchError(
+                f"expected {self.num_extra} extra coordinates, got {extra.shape[-1]}"
+            )
+        return (extra * self.extra_multiplier + self.extra_offset, self.apply(feats))
+
+    def apply_point(self, point: FeatureVector, space: FeatureSpace) -> FeatureVector:
+        """Apply to a real point of ``space`` and re-encode the result."""
+        extra, feats = space.decode(point)
+        new_extra, new_feats = self.apply_features(extra, feats)
+        return space.encode(new_feats, new_extra)
+
+    # -- composition ---------------------------------------------------------
+    def compose(self, other: "LinearTransformation") -> "LinearTransformation":
+        """The linear transformation equivalent to applying ``self`` first and
+        ``other`` second: ``other(self(x))``."""
+        if (other.num_features != self.num_features
+                or other.num_extra != self.num_extra):
+            raise DimensionMismatchError("cannot compose transformations of different arity")
+        return LinearTransformation(
+            other.multiplier * self.multiplier,
+            other.multiplier * self.offset + other.offset,
+            extra_multiplier=other.extra_multiplier * self.extra_multiplier,
+            extra_offset=other.extra_multiplier * self.extra_offset + other.extra_offset,
+            cost=self.cost + other.cost,
+            name=f"{other.name}({self.name})",
+        )
+
+    # -- safety / lowering to real coordinates --------------------------------
+    def is_safe_for(self, space: FeatureSpace) -> bool:
+        """Whether the transformation is safe with respect to ``space``.
+
+        * ``Srect``: safe iff the multiplier is (numerically) real
+          (Theorem 2); the offset may be any complex vector.
+        * ``Spol``: safe iff the offset is zero (Theorem 3); the multiplier
+          may be any complex vector.
+        """
+        if isinstance(space, RectangularSpace):
+            return bool(np.allclose(self.multiplier.imag, 0.0, atol=1e-12))
+        if isinstance(space, PolarSpace):
+            return bool(np.allclose(self.offset, 0.0, atol=1e-12))
+        return False
+
+    def to_real(self, space: FeatureSpace) -> "RealLinearTransformation":
+        """Lower to a per-real-coordinate scale/shift for ``space``.
+
+        Raises :class:`UnsafeTransformationError` when the transformation is
+        not safe for the space (so the result would not map rectangles to
+        rectangles).
+        """
+        if space.num_features != self.num_features or space.num_extra != self.num_extra:
+            raise DimensionMismatchError(
+                f"transformation arity ({self.num_extra} extra, {self.num_features} "
+                f"features) does not match space ({space.num_extra} extra, "
+                f"{space.num_features} features)"
+            )
+        if not self.is_safe_for(space):
+            raise UnsafeTransformationError(
+                f"{self.name!r} is not safe for {space.name}: "
+                + ("multiplier must be real" if isinstance(space, RectangularSpace)
+                   else "offset must be zero")
+            )
+        scale = np.ones(space.dimension)
+        shift = np.zeros(space.dimension)
+        scale[: space.num_extra] = self.extra_multiplier
+        shift[: space.num_extra] = self.extra_offset
+        if isinstance(space, RectangularSpace):
+            scale[space.num_extra::2] = self.multiplier.real
+            scale[space.num_extra + 1::2] = self.multiplier.real
+            shift[space.num_extra::2] = self.offset.real
+            shift[space.num_extra + 1::2] = self.offset.imag
+        elif isinstance(space, PolarSpace):
+            scale[space.num_extra::2] = np.abs(self.multiplier)
+            scale[space.num_extra + 1::2] = 1.0
+            shift[space.num_extra::2] = 0.0
+            shift[space.num_extra + 1::2] = np.angle(self.multiplier)
+        else:  # pragma: no cover - guarded by is_safe_for
+            raise UnsafeTransformationError(f"unsupported space {space!r}")
+        return RealLinearTransformation(scale, shift, cost=self.cost, name=self.name)
+
+    def __repr__(self) -> str:
+        return (f"LinearTransformation(name={self.name!r}, features={self.num_features}, "
+                f"extra={self.num_extra}, cost={self.cost})")
+
+
+class RealLinearTransformation(Transformation):
+    """A per-coordinate affine map ``x_i -> scale_i * x_i + shift_i`` on real points.
+
+    This is what index traversal actually executes: it maps points to points
+    and axis-aligned rectangles to axis-aligned rectangles (negative scales
+    flip the corresponding bounds).
+    """
+
+    def __init__(self, scale: Sequence[float] | np.ndarray,
+                 shift: Sequence[float] | np.ndarray | None = None, *,
+                 cost: float = 0.0, name: str | None = None) -> None:
+        super().__init__(cost=cost, name=name or "real-linear")
+        self.scale = np.asarray(scale, dtype=np.float64).reshape(-1).copy()
+        if shift is None:
+            shift = np.zeros(self.scale.shape[0])
+        self.shift = np.asarray(shift, dtype=np.float64).reshape(-1).copy()
+        if self.shift.shape != self.scale.shape:
+            raise DimensionMismatchError("scale / shift length mismatch")
+
+    @classmethod
+    def identity(cls, dimension: int) -> "RealLinearTransformation":
+        """The identity map on ``dimension`` real coordinates."""
+        return cls(np.ones(dimension), np.zeros(dimension), name="identity")
+
+    @property
+    def dimension(self) -> int:
+        """Number of real coordinates the map acts on."""
+        return int(self.scale.shape[0])
+
+    def is_identity(self) -> bool:
+        """Whether the map leaves every point unchanged."""
+        return bool(np.all(self.scale == 1.0) and np.all(self.shift == 0.0))
+
+    def apply(self, obj: Any) -> Any:
+        """Apply to a raw coordinate array (or anything numpy can coerce)."""
+        values = np.asarray(obj, dtype=np.float64)
+        if values.shape[-1] != self.dimension:
+            raise DimensionMismatchError(
+                f"expected {self.dimension} coordinates, got {values.shape[-1]}"
+            )
+        return values * self.scale + self.shift
+
+    def apply_point(self, point: FeatureVector) -> FeatureVector:
+        """Apply to a :class:`FeatureVector` and wrap the result."""
+        return FeatureVector(self.apply(point.values))
+
+    def apply_bounds(self, low: np.ndarray, high: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Image of the rectangle ``[low, high]``; bounds swap where the scale
+        is negative so the result is again a valid rectangle."""
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        a = self.apply(low)
+        b = self.apply(high)
+        return np.minimum(a, b), np.maximum(a, b)
+
+    def compose(self, other: "RealLinearTransformation") -> "RealLinearTransformation":
+        """``other`` after ``self`` as a single map."""
+        if other.dimension != self.dimension:
+            raise DimensionMismatchError("cannot compose maps of different dimension")
+        return RealLinearTransformation(
+            other.scale * self.scale,
+            other.scale * self.shift + other.shift,
+            cost=self.cost + other.cost,
+            name=f"{other.name}({self.name})",
+        )
+
+    def inverse(self) -> "RealLinearTransformation":
+        """The inverse map; raises :class:`TransformationError` when any scale
+        is zero (the map is then not invertible)."""
+        if np.any(self.scale == 0.0):
+            raise TransformationError(f"{self.name!r} is singular and cannot be inverted")
+        inv_scale = 1.0 / self.scale
+        return RealLinearTransformation(inv_scale, -self.shift * inv_scale,
+                                        cost=self.cost, name=f"{self.name}^-1")
+
+    def __repr__(self) -> str:
+        return f"RealLinearTransformation(name={self.name!r}, dimension={self.dimension})"

@@ -1,0 +1,24 @@
+"""Spatial indexing: R-tree family, the k-index, transformed search and scans."""
+
+from .geometry import Rect, mindist, minmaxdist
+from .kindex import KIndex, NearestNeighborResult, QueryStatistics, RangeQueryResult
+from .rstar import RStarTree
+from .rtree import NodeAccessStats, RTree, RTreeEntry, RTreeNode
+from .scan import SequentialScan
+from .transformed import (
+    materialize_transformed_tree,
+    transformed_join,
+    transformed_nearest_neighbors,
+    transformed_nearest_neighbors_iter,
+    transformed_range_search,
+)
+
+__all__ = [
+    "Rect", "mindist", "minmaxdist",
+    "KIndex", "RangeQueryResult", "NearestNeighborResult", "QueryStatistics",
+    "RStarTree", "RTree", "RTreeEntry", "RTreeNode", "NodeAccessStats",
+    "SequentialScan",
+    "materialize_transformed_tree", "transformed_range_search",
+    "transformed_nearest_neighbors", "transformed_nearest_neighbors_iter",
+    "transformed_join",
+]

@@ -1,0 +1,410 @@
+"""The k-index: similarity queries over time series via an R*-tree on DFT features.
+
+A ``k``-index stores, for every series, the point
+
+``(mean, std, coefficients 1..k of the normal form)``
+
+in either the polar or the rectangular complex layout, inside an R-tree
+variant.  Queries are answered in three phases, exactly as in the companion
+evaluation:
+
+1. **Preprocessing** — the query series is reduced to the same features; when
+   a transformation is supplied it is applied to the query features and
+   lowered (safely) to a per-coordinate map for the index's space; the
+   epsilon-ball around the query point becomes a search rectangle.
+2. **Search** — the R-tree is traversed, transforming every bounding
+   rectangle on the fly (Algorithm 2), yielding *candidates*.  Keeping only
+   ``k`` coefficients can produce false hits but — by Parseval — never false
+   dismissals (Lemma 1).
+3. **Postprocessing** — each candidate's full record (all normal-form
+   coefficients plus the mean and the standard deviation) is fetched and the
+   exact distance computed; candidates beyond the threshold are discarded.
+
+The class also supports nearest-neighbour queries and index-probe all-pairs
+(self-join) queries under a transformation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import IndexError_, UnsafeTransformationError
+from ..core.objects import FeatureVector
+from ..core.spaces import PolarSpace
+from ..core.transformations import LinearTransformation, RealLinearTransformation
+from ..storage.pages import PageStore
+from ..timeseries.features import SeriesFeatureExtractor, SeriesFeatures
+from ..timeseries.series import TimeSeries
+from ..timeseries.transforms import SpectralTransformation
+from .geometry import Rect
+from .rstar import RStarTree
+from .rtree import RTree
+from .transformed import transformed_nearest_neighbors_iter, transformed_range_search
+
+__all__ = ["QueryStatistics", "RangeQueryResult", "NearestNeighborResult", "KIndex"]
+
+
+@dataclass
+class QueryStatistics:
+    """Work counters for one query."""
+
+    node_accesses: int = 0
+    candidates: int = 0
+    postprocessed: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """The counters as a plain dictionary (for benchmark reports)."""
+        return {"node_accesses": self.node_accesses, "candidates": self.candidates,
+                "postprocessed": self.postprocessed,
+                "elapsed_seconds": self.elapsed_seconds}
+
+
+@dataclass
+class RangeQueryResult:
+    """Answers of a range query, sorted by ascending exact distance."""
+
+    answers: list[tuple[TimeSeries, float]] = field(default_factory=list)
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def series(self) -> list[TimeSeries]:
+        """Just the answer series."""
+        return [series for series, _ in self.answers]
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+@dataclass
+class NearestNeighborResult:
+    """Answers of a k-nearest-neighbour query, nearest first."""
+
+    answers: list[tuple[TimeSeries, float]] = field(default_factory=list)
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class KIndex:
+    """An R-tree-backed similarity index over time series.
+
+    Parameters
+    ----------
+    extractor:
+        Feature configuration (number of coefficients, representation,
+        whether mean/std are stored).  Defaults to the evaluation's setup:
+        two coefficients in polar layout plus mean and standard deviation
+        (a six-dimensional index).
+    tree_kind:
+        ``"rstar"`` (default), ``"rtree-quadratic"`` or ``"rtree-linear"``.
+    max_entries:
+        Node capacity of the underlying tree.
+    page_store:
+        Optional simulated page store for I/O accounting.
+    """
+
+    def __init__(self, extractor: SeriesFeatureExtractor | None = None, *,
+                 tree_kind: str = "rstar", max_entries: int = 8,
+                 page_store: PageStore | None = None) -> None:
+        self.extractor = extractor if extractor is not None else SeriesFeatureExtractor()
+        self.space = self.extractor.space
+        self.tree = self._build_tree(tree_kind, max_entries, page_store)
+        self._records: dict[int, tuple[TimeSeries, SeriesFeatures]] = {}
+        self._next_record_id = 0
+
+    def _build_tree(self, tree_kind: str, max_entries: int,
+                    page_store: PageStore | None) -> RTree:
+        dimension = self.space.dimension
+        if tree_kind == "rstar":
+            return RStarTree(dimension, max_entries=max_entries, page_store=page_store)
+        if tree_kind == "rtree-quadratic":
+            return RTree(dimension, max_entries=max_entries, split="quadratic",
+                         page_store=page_store)
+        if tree_kind == "rtree-linear":
+            return RTree(dimension, max_entries=max_entries, split="linear",
+                         page_store=page_store)
+        raise IndexError_(f"unknown tree kind {tree_kind!r}")
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def insert(self, series: TimeSeries) -> int:
+        """Index one series; returns its record id."""
+        features = self.extractor.extract(series)
+        record_id = self._next_record_id
+        self._next_record_id += 1
+        self._records[record_id] = (series, features)
+        self.tree.insert(features.point.values, record_id)
+        return record_id
+
+    def extend(self, collection: Iterable[TimeSeries]) -> None:
+        """Index every series of a collection."""
+        for series in collection:
+            self.insert(series)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, record_id: int) -> tuple[TimeSeries, SeriesFeatures]:
+        """The stored series and its extracted features."""
+        try:
+            return self._records[record_id]
+        except KeyError:
+            raise IndexError_(f"unknown record id {record_id}") from None
+
+    def series_list(self) -> list[TimeSeries]:
+        """All indexed series, in insertion order."""
+        return [series for series, _ in self._records.values()]
+
+    # ------------------------------------------------------------------
+    # transformation plumbing
+    # ------------------------------------------------------------------
+    def _lower_transformation(self, transformation: SpectralTransformation |
+                              LinearTransformation | None
+                              ) -> tuple[LinearTransformation | None,
+                                         RealLinearTransformation | None]:
+        """Derive (prefix linear transformation, per-coordinate real map)."""
+        if transformation is None:
+            return None, None
+        if isinstance(transformation, SpectralTransformation):
+            linear = transformation.to_linear(self.extractor.num_coefficients,
+                                              skip_first=True,
+                                              include_extra=self.extractor.include_stats)
+        elif isinstance(transformation, LinearTransformation):
+            linear = transformation
+            if linear.num_features != self.extractor.num_coefficients:
+                raise IndexError_(
+                    f"transformation acts on {linear.num_features} coefficients but the "
+                    f"index stores {self.extractor.num_coefficients}"
+                )
+        else:
+            raise IndexError_(
+                "transformation must be a SpectralTransformation or LinearTransformation"
+            )
+        if not linear.is_safe_for(self.space):
+            raise UnsafeTransformationError(
+                f"transformation {linear.name!r} is not safe for the index space "
+                f"{self.space.name}; pick the other representation or drop the offset"
+            )
+        return linear, linear.to_real(self.space)
+
+    def _full_transformed(self, features: SeriesFeatures,
+                          transformation: SpectralTransformation | None
+                          ) -> tuple[np.ndarray, float, float]:
+        """Full coefficient record (and stats) after applying the transformation."""
+        if transformation is None:
+            return features.full_coefficients, features.mean, features.std
+        available = features.full_coefficients.shape[0]
+        multiplier = transformation.multiplier[1:1 + available]
+        offset = transformation.offset[1:1 + available]
+        coefficients = features.full_coefficients * multiplier + offset
+        extra = np.array([features.mean, features.std]) * transformation.extra_multiplier \
+            + transformation.extra_offset
+        return coefficients, float(extra[0]), float(extra[1])
+
+    def _exact_distance(self, a: tuple[np.ndarray, float, float],
+                        b: tuple[np.ndarray, float, float]) -> float:
+        # When one side carries fewer coefficients (a bare feature-point
+        # query), the distance is taken over the common prefix: still a valid
+        # lower bound by Parseval, and exact when both records are complete.
+        common = min(a[0].shape[0], b[0].shape[0])
+        total = float(np.sum(np.abs(a[0][:common] - b[0][:common]) ** 2))
+        if self.extractor.include_stats:
+            total += (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2
+        return float(np.sqrt(total))
+
+    def _overlap_predicate(self):
+        """Rectangle-overlap test aware of the polar layout's periodic angles."""
+        if not isinstance(self.space, PolarSpace):
+            return None
+        space = self.space
+
+        def overlap(a: Rect, b: Rect) -> bool:
+            for dim in range(space.dimension):
+                is_angle = dim >= space.num_extra and (dim - space.num_extra) % 2 == 1
+                if is_angle:
+                    if not PolarSpace.angle_intervals_overlap(a.low[dim], a.high[dim],
+                                                              b.low[dim], b.high[dim]):
+                        return False
+                else:
+                    if a.low[dim] > b.high[dim] or b.low[dim] > a.high[dim]:
+                        return False
+            return True
+
+        return overlap
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(self, query: TimeSeries | FeatureVector, epsilon: float, *,
+                    transformation: SpectralTransformation | None = None,
+                    transform_query: bool = True,
+                    exact: bool = True) -> RangeQueryResult:
+        """All series whose (transformed) representation lies within ``epsilon``
+        of the (transformed) query.
+
+        Parameters
+        ----------
+        query:
+            A query series (reduced to features automatically) or an already
+            encoded feature point.
+        epsilon:
+            The distance threshold.
+        transformation:
+            Optional :class:`SpectralTransformation` applied to the data (and
+            by default also to the query, which is how "compare the moving
+            averages of both series" is expressed).
+        transform_query:
+            When ``False`` the query features are used as given and only the
+            data side is transformed.
+        exact:
+            When ``False`` postprocessing is skipped and candidates are
+            returned with their *filter* distance — useful for measuring the
+            false-hit rate of the index alone.
+        """
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        started = time.perf_counter()
+        self.tree.reset_stats()
+        linear, real_map = self._lower_transformation(transformation)
+
+        query_features = self._query_features(query)
+        if transformation is not None and transform_query:
+            query_full = self._full_transformed(query_features, transformation)
+            query_point = self._transform_point(query_features.point, linear)
+        else:
+            query_full = (query_features.full_coefficients, query_features.mean,
+                          query_features.std)
+            query_point = query_features.point
+
+        low, high = self.space.search_rectangle(query_point, epsilon)
+        window = Rect(low, high)
+        candidates = transformed_range_search(self.tree, window, real_map,
+                                              overlap=self._overlap_predicate())
+        result = RangeQueryResult()
+        result.statistics.candidates = len(candidates)
+        for record_id in candidates:
+            series, features = self.record(record_id)
+            if exact:
+                result.statistics.postprocessed += 1
+                candidate_full = self._full_transformed(features, transformation)
+                distance = self._exact_distance(candidate_full, query_full)
+            else:
+                transformed_point = self._transform_point(features.point, linear)
+                distance = self.space.distance(transformed_point, query_point)
+            if distance <= epsilon:
+                result.answers.append((series, distance))
+        result.answers.sort(key=lambda pair: pair[1])
+        result.statistics.node_accesses = self.tree.access_stats.total
+        result.statistics.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def nearest_neighbors(self, query: TimeSeries | FeatureVector, k: int = 1, *,
+                          transformation: SpectralTransformation | None = None,
+                          transform_query: bool = True) -> NearestNeighborResult:
+        """The ``k`` indexed series nearest to the query (exact distances).
+
+        The search pulls candidates from an incremental MINDIST
+        branch-and-bound over transformed rectangles (filter distances are
+        lower bounds on exact distances), postprocesses each with its full
+        record, and stops as soon as the next filter lower bound exceeds the
+        current k-th exact distance — so the answer is exact, not merely a
+        re-ranking of a fixed candidate pool.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        started = time.perf_counter()
+        self.tree.reset_stats()
+        linear, real_map = self._lower_transformation(transformation)
+        query_features = self._query_features(query)
+        if transformation is not None and transform_query:
+            query_full = self._full_transformed(query_features, transformation)
+            query_point = self._transform_point(query_features.point, linear)
+        else:
+            query_full = (query_features.full_coefficients, query_features.mean,
+                          query_features.std)
+            query_point = query_features.point
+        best: list[tuple[TimeSeries, float]] = []
+        pulled = 0
+        distance_to_rect = None
+        if isinstance(self.space, PolarSpace):
+            space = self.space
+
+            def distance_to_rect(point_values, rect):  # noqa: ANN001 - local closure
+                return space.mindist_to_rectangle(FeatureVector(point_values),
+                                                  rect.low, rect.high)
+
+        for lower_bound, record_id in transformed_nearest_neighbors_iter(
+                self.tree, query_point.values, transformation=real_map,
+                distance_to_rect=distance_to_rect):
+            if len(best) >= k and lower_bound > best[k - 1][1]:
+                break
+            pulled += 1
+            series, features = self.record(record_id)
+            candidate_full = self._full_transformed(features, transformation)
+            distance = self._exact_distance(candidate_full, query_full)
+            best.append((series, distance))
+            best.sort(key=lambda pair: pair[1])
+            best = best[: max(k, len(best))]
+        result = NearestNeighborResult(answers=best[:k])
+        result.statistics.candidates = pulled
+        result.statistics.postprocessed = pulled
+        result.statistics.node_accesses = self.tree.access_stats.total
+        result.statistics.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def all_pairs(self, epsilon: float, *,
+                  transformation: SpectralTransformation | None = None
+                  ) -> tuple[list[tuple[TimeSeries, TimeSeries, float]], QueryStatistics]:
+        """Self-join: every ordered pair of distinct series within ``epsilon``.
+
+        Implemented as one index probe per stored series (methods (c)/(d) of
+        the original join experiment): each series becomes a range query
+        posed to the index, under the same transformation on both sides.
+        """
+        started = time.perf_counter()
+        pairs: list[tuple[TimeSeries, TimeSeries, float]] = []
+        stats = QueryStatistics()
+        for record_id in list(self._records):
+            series, _ = self.record(record_id)
+            result = self.range_query(series, epsilon, transformation=transformation)
+            stats.node_accesses += result.statistics.node_accesses
+            stats.candidates += result.statistics.candidates
+            stats.postprocessed += result.statistics.postprocessed
+            for other, distance in result.answers:
+                if other.object_id != series.object_id:
+                    pairs.append((series, other, distance))
+        stats.elapsed_seconds = time.perf_counter() - started
+        return pairs, stats
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _query_features(self, query: TimeSeries | FeatureVector) -> SeriesFeatures:
+        if isinstance(query, TimeSeries):
+            return self.extractor.extract(query)
+        if isinstance(query, FeatureVector):
+            # A bare point has no full record: treat its encoded coefficients
+            # as the complete description (exact distances then equal filter
+            # distances).
+            extra, feats = self.space.decode(query)
+            mean = float(extra[0]) if extra.shape[0] > 0 else 0.0
+            std = float(extra[1]) if extra.shape[0] > 1 else 0.0
+            return SeriesFeatures(point=query, full_coefficients=feats, mean=mean, std=std)
+        raise IndexError_("query must be a TimeSeries or a FeatureVector")
+
+    def _transform_point(self, point: FeatureVector,
+                         linear: LinearTransformation | None) -> FeatureVector:
+        if linear is None:
+            return point
+        return linear.apply_point(point, self.space)
+
+    def __repr__(self) -> str:
+        return (f"KIndex(size={len(self)}, k={self.extractor.num_coefficients}, "
+                f"representation={self.extractor.representation!r}, "
+                f"tree={type(self.tree).__name__})")

@@ -1,0 +1,446 @@
+"""An R-tree index (Guttman, 1984) with linear and quadratic node splits.
+
+The tree stores *records* (arbitrary Python objects — usually object ids)
+under axis-aligned rectangles; point data is stored as degenerate rectangles.
+It supports range (window) search, branch-and-bound nearest-neighbour search,
+and exposes its nodes so that :mod:`repro.index.transformed` can traverse the
+same structure under an on-the-fly transformation.
+
+Node accesses are counted per tree (``tree.access_stats``), and when a
+:class:`~repro.storage.pages.PageStore` is supplied every node occupies one
+simulated page, read through an LRU :class:`~repro.storage.buffer.BufferPool`
+during searches, so benchmarks can report "disk" accesses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import IndexError_
+from ..storage.buffer import BufferPool
+from ..storage.pages import PageStore
+from .geometry import Rect, mindist
+
+__all__ = ["RTreeEntry", "RTreeNode", "NodeAccessStats", "RTree"]
+
+
+@dataclass
+class RTreeEntry:
+    """One slot of a node: a bounding rectangle plus either a child node id
+    (internal nodes) or a data record (leaf nodes)."""
+
+    rect: Rect
+    child_id: int | None = None
+    record: Any = None
+
+    @property
+    def is_data(self) -> bool:
+        """Whether the entry points at a data record rather than a child node."""
+        return self.child_id is None
+
+
+@dataclass
+class RTreeNode:
+    """A node of the tree: a flat list of entries plus bookkeeping."""
+
+    node_id: int
+    is_leaf: bool
+    entries: list[RTreeEntry] = field(default_factory=list)
+    parent_id: int | None = None
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries."""
+        if not self.entries:
+            raise IndexError_("an empty node has no bounding rectangle")
+        return Rect.union_of(entry.rect for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class NodeAccessStats:
+    """Counters for node visits during searches."""
+
+    internal: int = 0
+    leaf: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.internal = 0
+        self.leaf = 0
+
+    @property
+    def total(self) -> int:
+        """All node visits."""
+        return self.internal + self.leaf
+
+
+class RTree:
+    """A dynamic R-tree.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality of the indexed space.
+    max_entries:
+        Maximum entries per node (``M``); nodes split when it is exceeded.
+    min_entries:
+        Minimum entries per node (``m``); defaults to ``ceil(0.4 * M)``.
+    split:
+        Node split policy: ``"linear"`` or ``"quadratic"`` (Guttman's two
+        heuristics).
+    page_store:
+        Optional simulated page store; when given, each node occupies one
+        page and search-time node visits are routed through an LRU buffer
+        pool so I/O counts can be reported.
+    buffer_capacity:
+        Size of the buffer pool used when ``page_store`` is given.
+    """
+
+    SPLIT_POLICIES = ("linear", "quadratic")
+
+    def __init__(self, dimension: int, max_entries: int = 8,
+                 min_entries: int | None = None, split: str = "quadratic",
+                 page_store: PageStore | None = None,
+                 buffer_capacity: int = 64) -> None:
+        if dimension <= 0:
+            raise IndexError_("dimension must be positive")
+        if max_entries < 2:
+            raise IndexError_("max_entries must be at least 2")
+        if split not in self.SPLIT_POLICIES:
+            raise IndexError_(f"unknown split policy {split!r}; choose from {self.SPLIT_POLICIES}")
+        self.dimension = int(dimension)
+        self.max_entries = int(max_entries)
+        self.min_entries = (int(min_entries) if min_entries is not None
+                            else max(1, math.ceil(0.4 * max_entries)))
+        if self.min_entries > self.max_entries // 2:
+            self.min_entries = max(1, self.max_entries // 2)
+        self.split_policy = split
+        self.access_stats = NodeAccessStats()
+        self._nodes: dict[int, RTreeNode] = {}
+        self._node_counter = itertools.count()
+        self._size = 0
+        self._page_store = page_store
+        self._buffer = (BufferPool(page_store, capacity=buffer_capacity)
+                        if page_store is not None else None)
+        self._node_pages: dict[int, int] = {}
+        self.root_id = self._new_node(is_leaf=True).node_id
+
+    # ------------------------------------------------------------------
+    # node plumbing
+    # ------------------------------------------------------------------
+    def _new_node(self, is_leaf: bool) -> RTreeNode:
+        node = RTreeNode(node_id=next(self._node_counter), is_leaf=is_leaf)
+        self._nodes[node.node_id] = node
+        if self._page_store is not None:
+            self._node_pages[node.node_id] = self._page_store.allocate(node)
+        return node
+
+    def node(self, node_id: int) -> RTreeNode:
+        """Fetch a node without touching the access counters (structural use)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise IndexError_(f"unknown node id {node_id}") from None
+
+    def visit(self, node_id: int) -> RTreeNode:
+        """Fetch a node *during a search*: counts the access and goes through
+        the buffer pool when a page store is attached."""
+        node = self.node(node_id)
+        if node.is_leaf:
+            self.access_stats.leaf += 1
+        else:
+            self.access_stats.internal += 1
+        if self._buffer is not None:
+            self._buffer.read(self._node_pages[node_id])
+        return node
+
+    def _mark_dirty(self, node: RTreeNode) -> None:
+        if self._page_store is not None:
+            self._page_store.write(self._node_pages[node.node_id], node)
+
+    @property
+    def root(self) -> RTreeNode:
+        """The root node."""
+        return self.node(self.root_id)
+
+    @property
+    def buffer(self) -> BufferPool | None:
+        """The buffer pool (``None`` when no page store was supplied)."""
+        return self._buffer
+
+    def __len__(self) -> int:
+        return self._size
+
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is just a leaf root)."""
+        level = 1
+        node = self.root
+        while not node.is_leaf:
+            node = self.node(node.entries[0].child_id)
+            level += 1
+        return level
+
+    def reset_stats(self) -> None:
+        """Zero the access counters (and buffer statistics, if any)."""
+        self.access_stats.reset()
+        if self._buffer is not None:
+            self._buffer.stats.reset()
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, rect_or_point: Rect | Sequence[float] | np.ndarray, record: Any) -> None:
+        """Insert a record under a rectangle (or a point)."""
+        rect = rect_or_point if isinstance(rect_or_point, Rect) else Rect.from_point(rect_or_point)
+        if rect.dimension != self.dimension:
+            raise IndexError_(
+                f"rectangle of dimension {rect.dimension} inserted into a tree of "
+                f"dimension {self.dimension}"
+            )
+        entry = RTreeEntry(rect=rect, record=record)
+        leaf = self._choose_leaf(self.root, entry)
+        leaf.entries.append(entry)
+        self._mark_dirty(leaf)
+        self._size += 1
+        if len(leaf.entries) > self.max_entries:
+            self._handle_overflow(leaf)
+        else:
+            self._adjust_upward(leaf)
+
+    def _choose_leaf(self, node: RTreeNode, entry: RTreeEntry) -> RTreeNode:
+        while not node.is_leaf:
+            best = min(node.entries,
+                       key=lambda e: (e.rect.enlargement(entry.rect), e.rect.area()))
+            node = self.node(best.child_id)
+        return node
+
+    def _handle_overflow(self, node: RTreeNode) -> None:
+        self._split(node)
+
+    def _split(self, node: RTreeNode) -> None:
+        group_a, group_b = self._split_entries(node.entries)
+        sibling = self._new_node(is_leaf=node.is_leaf)
+        node.entries = group_a
+        sibling.entries = group_b
+        if not node.is_leaf:
+            for entry in sibling.entries:
+                child = self.node(entry.child_id)
+                child.parent_id = sibling.node_id
+        self._mark_dirty(node)
+        self._mark_dirty(sibling)
+        if node.node_id == self.root_id:
+            new_root = self._new_node(is_leaf=False)
+            new_root.entries = [
+                RTreeEntry(rect=node.mbr(), child_id=node.node_id),
+                RTreeEntry(rect=sibling.mbr(), child_id=sibling.node_id),
+            ]
+            node.parent_id = new_root.node_id
+            sibling.parent_id = new_root.node_id
+            self.root_id = new_root.node_id
+            self._mark_dirty(new_root)
+            return
+        parent = self.node(node.parent_id)
+        for entry in parent.entries:
+            if entry.child_id == node.node_id:
+                entry.rect = node.mbr()
+                break
+        sibling.parent_id = parent.node_id
+        parent.entries.append(RTreeEntry(rect=sibling.mbr(), child_id=sibling.node_id))
+        self._mark_dirty(parent)
+        if len(parent.entries) > self.max_entries:
+            self._handle_overflow(parent)
+        else:
+            self._adjust_upward(parent)
+
+    def _adjust_upward(self, node: RTreeNode) -> None:
+        while node.parent_id is not None:
+            parent = self.node(node.parent_id)
+            for entry in parent.entries:
+                if entry.child_id == node.node_id:
+                    entry.rect = node.mbr()
+                    break
+            self._mark_dirty(parent)
+            node = parent
+
+    # -- split heuristics ----------------------------------------------------
+    def _split_entries(self, entries: list[RTreeEntry]
+                       ) -> tuple[list[RTreeEntry], list[RTreeEntry]]:
+        if self.split_policy == "linear":
+            seed_a, seed_b = self._linear_seeds(entries)
+        else:
+            seed_a, seed_b = self._quadratic_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a].rect
+        rect_b = entries[seed_b].rect
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        while remaining:
+            # If one group must take everything left to reach the minimum, do so.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                break
+            entry = self._pick_next(remaining, rect_a, rect_b)
+            remaining.remove(entry)
+            grow_a = rect_a.enlargement(entry.rect)
+            grow_b = rect_b.enlargement(entry.rect)
+            if (grow_a, rect_a.area(), len(group_a)) <= (grow_b, rect_b.area(), len(group_b)):
+                group_a.append(entry)
+                rect_a = rect_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry.rect)
+        return group_a, group_b
+
+    def _pick_next(self, remaining: list[RTreeEntry], rect_a: Rect, rect_b: Rect) -> RTreeEntry:
+        if self.split_policy == "linear":
+            return remaining[0]
+        best_entry = remaining[0]
+        best_difference = -1.0
+        for entry in remaining:
+            difference = abs(rect_a.enlargement(entry.rect) - rect_b.enlargement(entry.rect))
+            if difference > best_difference:
+                best_difference = difference
+                best_entry = entry
+        return best_entry
+
+    @staticmethod
+    def _linear_seeds(entries: list[RTreeEntry]) -> tuple[int, int]:
+        dimension = entries[0].rect.dimension
+        best_pair = (0, 1)
+        best_separation = -1.0
+        for dim in range(dimension):
+            lows = np.array([e.rect.low[dim] for e in entries])
+            highs = np.array([e.rect.high[dim] for e in entries])
+            width = float(highs.max() - lows.min())
+            if width <= 0:
+                continue
+            highest_low = int(np.argmax(lows))
+            lowest_high = int(np.argmin(highs))
+            if highest_low == lowest_high:
+                continue
+            separation = float(lows[highest_low] - highs[lowest_high]) / width
+            if separation > best_separation:
+                best_separation = separation
+                best_pair = (highest_low, lowest_high)
+        return best_pair
+
+    @staticmethod
+    def _quadratic_seeds(entries: list[RTreeEntry]) -> tuple[int, int]:
+        best_pair = (0, 1)
+        worst_waste = -math.inf
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].rect.union(entries[j].rect)
+                waste = union.area() - entries[i].rect.area() - entries[j].rect.area()
+                if waste > worst_waste:
+                    worst_waste = waste
+                    best_pair = (i, j)
+        return best_pair
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, window: Rect) -> list[Any]:
+        """All records whose rectangle intersects ``window``."""
+        results: list[Any] = []
+        self._search_node(self.root_id, window, results)
+        return results
+
+    def _search_node(self, node_id: int, window: Rect, results: list[Any]) -> None:
+        node = self.visit(node_id)
+        if node.is_leaf:
+            results.extend(entry.record for entry in node.entries
+                           if entry.rect.intersects(window))
+            return
+        for entry in node.entries:
+            if entry.rect.intersects(window):
+                self._search_node(entry.child_id, window, results)
+
+    def nearest_neighbors(self, point: Sequence[float] | np.ndarray, k: int = 1
+                          ) -> list[tuple[float, Any]]:
+        """The ``k`` records nearest to ``point`` (by Euclidean distance to
+        their rectangles), as ``(distance, record)`` pairs sorted by distance.
+
+        Uses best-first branch-and-bound with the MINDIST lower bound.
+        """
+        if k <= 0:
+            raise IndexError_("k must be positive")
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        heap: list[tuple[float, int, bool, Any]] = []
+        counter = itertools.count()
+        heap.append((0.0, next(counter), False, self.root_id))
+        results: list[tuple[float, Any]] = []
+        import heapq
+
+        heapq.heapify(heap)
+        while heap:
+            distance, _, is_record, payload = heapq.heappop(heap)
+            if len(results) >= k and distance > results[-1][0]:
+                break
+            if is_record:
+                results.append((distance, payload))
+                results.sort(key=lambda pair: pair[0])
+                results = results[:k]
+                continue
+            node = self.visit(payload)
+            for entry in node.entries:
+                d = mindist(point, entry.rect)
+                if node.is_leaf:
+                    heapq.heappush(heap, (d, next(counter), True, entry.record))
+                else:
+                    heapq.heappush(heap, (d, next(counter), False, entry.child_id))
+        return results
+
+    # ------------------------------------------------------------------
+    # iteration / bulk loading
+    # ------------------------------------------------------------------
+    def all_entries(self) -> Iterator[RTreeEntry]:
+        """Every leaf entry in the tree (structural traversal, not counted)."""
+        stack = [self.root_id]
+        while stack:
+            node = self.node(stack.pop())
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(entry.child_id for entry in node.entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return (entry.record for entry in self.all_entries())
+
+    @classmethod
+    def bulk_load(cls, points: np.ndarray, records: Sequence[Any], *,
+                  max_entries: int = 8, split: str = "quadratic",
+                  page_store: PageStore | None = None) -> "RTree":
+        """Build a tree by Sort-Tile-Recursive style ordering of point data.
+
+        Points are sorted by a coarse space-filling order (interleaved sort on
+        the first two dimensions) before insertion, which produces better
+        clustering than insertion in arrival order while reusing the dynamic
+        insertion code path.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise IndexError_("bulk_load expects a 2-d array of points")
+        if len(records) != points.shape[0]:
+            raise IndexError_("number of records must match number of points")
+        tree = cls(dimension=points.shape[1], max_entries=max_entries, split=split,
+                   page_store=page_store)
+        if points.shape[0] == 0:
+            return tree
+        primary = points[:, 0]
+        secondary = points[:, 1] if points.shape[1] > 1 else np.zeros(points.shape[0])
+        order = np.lexsort((secondary, primary))
+        for index in order:
+            tree.insert(points[index], records[index])
+        return tree

@@ -1,0 +1,7 @@
+"""Simulated storage: pages and an LRU buffer pool for I/O accounting."""
+
+from .buffer import BufferPool, BufferStatistics
+from .pages import PAGE_SIZE_BYTES, IOStatistics, Page, PageStore
+
+__all__ = ["BufferPool", "BufferStatistics", "PAGE_SIZE_BYTES", "IOStatistics",
+           "Page", "PageStore"]

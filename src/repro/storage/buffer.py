@@ -1,0 +1,108 @@
+"""An LRU buffer pool over a :class:`~repro.storage.pages.PageStore`.
+
+Index traversal in the original system benefits from the buffer pool: the
+upper levels of the R-tree stay resident, so repeated queries only pay disk
+reads for the lower levels.  The buffer pool reproduces that effect for the
+simulated store — its hit/miss counters are what the benchmark harness
+reports as "disk accesses".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.errors import StorageError
+from .pages import PageStore
+
+__all__ = ["BufferStatistics", "BufferPool"]
+
+
+@dataclass
+class BufferStatistics:
+    """Hit/miss counters for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from memory (0 when unused)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters as a dictionary for reports."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_ratio": self.hit_ratio}
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of page payloads.
+
+    Parameters
+    ----------
+    store:
+        The backing page store; misses are served from it (and counted as
+        disk reads there).
+    capacity:
+        Maximum number of pages kept in memory.
+    """
+
+    def __init__(self, store: PageStore, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise StorageError("buffer pool capacity must be positive")
+        self.store = store
+        self.capacity = int(capacity)
+        self.stats = BufferStatistics()
+        self._frames: OrderedDict[int, Any] = OrderedDict()
+
+    def read(self, page_id: int) -> Any:
+        """Fetch a page payload through the cache."""
+        if page_id in self._frames:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.stats.misses += 1
+        payload = self.store.read(page_id)
+        self._insert(page_id, payload)
+        return payload
+
+    def write(self, page_id: int, payload: Any) -> None:
+        """Write through to the store and refresh the cached copy."""
+        self.store.write(page_id, payload)
+        self._insert(page_id, payload)
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the cache (e.g. after it was freed)."""
+        self._frames.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        self._frames.clear()
+
+    def _insert(self, page_id: int, payload: Any) -> None:
+        self._frames[page_id] = payload
+        self._frames.move_to_end(page_id)
+        while len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        return (f"BufferPool(capacity={self.capacity}, resident={len(self)}, "
+                f"hit_ratio={self.stats.hit_ratio:.2f})")

@@ -1,0 +1,19 @@
+"""The string domain: weighted edit transformations and distances."""
+
+from .distance import hamming_distance, transformation_edit_distance, weighted_edit_distance
+from .edit_transforms import (
+    DeleteCharacter,
+    InsertCharacter,
+    SubstituteCharacter,
+    TargetedEditExpander,
+    TransposeAdjacent,
+    edit_rule_set,
+)
+from .objects import StringObject
+
+__all__ = [
+    "StringObject",
+    "weighted_edit_distance", "transformation_edit_distance", "hamming_distance",
+    "DeleteCharacter", "InsertCharacter", "SubstituteCharacter", "TransposeAdjacent",
+    "TargetedEditExpander", "edit_rule_set",
+]

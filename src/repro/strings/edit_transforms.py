@@ -1,0 +1,169 @@
+"""Weighted edit operations as framework transformations.
+
+Each operation (insert a character, delete a character, substitute one
+character for another, transpose two adjacent characters) is a
+:class:`~repro.core.transformations.Transformation` with a cost.  A rule set
+built from them, fed to the generic similarity engine, yields the weighted
+edit distance — and because the engine is the framework's generic bounded-cost
+search, this package doubles as its correctness oracle: the dynamic program
+in :mod:`repro.strings.distance` must agree with it.
+
+The operations here are *schematic*: :class:`InsertAnywhere` (and friends)
+represent "insert any single character drawn from an alphabet, anywhere",
+which would blow up the search if expanded eagerly.  They therefore expand
+lazily relative to a *target* string: only insertions of characters that
+actually appear in the target are generated.  This mirrors how the framework
+expects transformation rules to be guided by the pattern being matched.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..core.rules import TransformationRuleSet
+from ..core.transformations import FunctionTransformation, Transformation
+from .objects import StringObject
+
+__all__ = [
+    "as_text",
+    "DeleteCharacter",
+    "InsertCharacter",
+    "SubstituteCharacter",
+    "TransposeAdjacent",
+    "edit_rule_set",
+    "TargetedEditExpander",
+]
+
+
+def as_text(obj: StringObject | str) -> str:
+    """The raw text of either a :class:`StringObject` or a plain string."""
+    return obj.text if isinstance(obj, StringObject) else str(obj)
+
+
+class DeleteCharacter(Transformation):
+    """Delete the character at a fixed position."""
+
+    def __init__(self, position: int, cost: float = 1.0) -> None:
+        super().__init__(cost=cost, name=f"delete@{position}")
+        self.position = int(position)
+
+    def apply(self, obj: StringObject | str) -> str:
+        text = as_text(obj)
+        if not 0 <= self.position < len(text):
+            raise ValueError(f"cannot delete position {self.position} of {text!r}")
+        return text[: self.position] + text[self.position + 1:]
+
+
+class InsertCharacter(Transformation):
+    """Insert a given character at a fixed position."""
+
+    def __init__(self, position: int, character: str, cost: float = 1.0) -> None:
+        if len(character) != 1:
+            raise ValueError("exactly one character must be inserted")
+        super().__init__(cost=cost, name=f"insert@{position}:{character}")
+        self.position = int(position)
+        self.character = character
+
+    def apply(self, obj: StringObject | str) -> str:
+        text = as_text(obj)
+        if not 0 <= self.position <= len(text):
+            raise ValueError(f"cannot insert at position {self.position} of {text!r}")
+        return text[: self.position] + self.character + text[self.position:]
+
+
+class SubstituteCharacter(Transformation):
+    """Replace the character at a fixed position with a given character."""
+
+    def __init__(self, position: int, character: str, cost: float = 1.0) -> None:
+        if len(character) != 1:
+            raise ValueError("exactly one character must be substituted in")
+        super().__init__(cost=cost, name=f"substitute@{position}:{character}")
+        self.position = int(position)
+        self.character = character
+
+    def apply(self, obj: StringObject | str) -> str:
+        text = as_text(obj)
+        if not 0 <= self.position < len(text):
+            raise ValueError(f"cannot substitute position {self.position} of {text!r}")
+        return text[: self.position] + self.character + text[self.position + 1:]
+
+
+class TransposeAdjacent(Transformation):
+    """Swap the characters at positions ``position`` and ``position + 1``."""
+
+    def __init__(self, position: int, cost: float = 1.0) -> None:
+        super().__init__(cost=cost, name=f"transpose@{position}")
+        self.position = int(position)
+
+    def apply(self, obj: StringObject | str) -> str:
+        text = as_text(obj)
+        if not 0 <= self.position < len(text) - 1:
+            raise ValueError(f"cannot transpose position {self.position} of {text!r}")
+        chars = list(text)
+        chars[self.position], chars[self.position + 1] = chars[self.position + 1], chars[self.position]
+        return "".join(chars)
+
+
+class TargetedEditExpander:
+    """Generates the edit transformations relevant for reaching a target string.
+
+    For a current string ``s`` and target ``t`` the expander produces at most
+    ``len(s) + 1`` insertions (characters of ``t`` at each position),
+    ``len(s)`` deletions and ``len(s)`` substitutions — a polynomial frontier
+    instead of the alphabet-sized one.
+    """
+
+    def __init__(self, target: StringObject | str, *, insert_cost: float = 1.0,
+                 delete_cost: float = 1.0, substitute_cost: float = 1.0) -> None:
+        self.target = as_text(target)
+        self.insert_cost = insert_cost
+        self.delete_cost = delete_cost
+        self.substitute_cost = substitute_cost
+
+    def expansions(self, current: StringObject | str) -> list[Transformation]:
+        """All single edit operations worth trying from ``current``."""
+        text = as_text(current)
+        target_chars = sorted(set(self.target))
+        moves: list[Transformation] = []
+        for position in range(len(text)):
+            moves.append(DeleteCharacter(position, cost=self.delete_cost))
+            for char in target_chars:
+                if text[position] != char:
+                    moves.append(SubstituteCharacter(position, char,
+                                                     cost=self.substitute_cost))
+        for position in range(len(text) + 1):
+            for char in target_chars:
+                moves.append(InsertCharacter(position, char, cost=self.insert_cost))
+        return moves
+
+
+def edit_rule_set(source: StringObject | str, target: StringObject | str, *,
+                  insert_cost: float = 1.0, delete_cost: float = 1.0,
+                  substitute_cost: float = 1.0,
+                  extra: Iterable[Transformation] = ()) -> TransformationRuleSet:
+    """A rule set holding every single-edit transformation useful between two
+    given strings (plus any ``extra`` transformations the caller supplies).
+
+    The rule set is what the generic similarity engine consumes; its size is
+    ``O((|source| + |target|) * |alphabet(target)|)``.
+    """
+    expander = TargetedEditExpander(target, insert_cost=insert_cost,
+                                    delete_cost=delete_cost,
+                                    substitute_cost=substitute_cost)
+    rules = TransformationRuleSet()
+    seen: set[str] = set()
+    for text in (as_text(source), as_text(target)):
+        for transformation in expander.expansions(text):
+            if transformation.name not in seen and transformation.name not in rules:
+                rules.add(transformation)
+                seen.add(transformation.name)
+    for transformation in extra:
+        if transformation.name not in rules:
+            rules.add(transformation)
+    return rules
+
+
+def reverse_string_transformation(cost: float = 1.0) -> Transformation:
+    """A whole-string reversal, showing non-edit transformations mix freely."""
+    return FunctionTransformation(lambda obj: as_text(obj)[::-1], cost=cost,
+                                  name="reverse-string")

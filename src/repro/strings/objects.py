@@ -1,0 +1,55 @@
+"""String objects for the second domain instantiation of the framework.
+
+The PODS framework is domain independent; strings are the classic example of
+similarity-through-transformations (edit operations with costs).  Having a
+second, structurally different domain exercises the generic machinery — the
+pattern language, the rule sets, the bounded-cost search — on objects that
+are *not* points in a vector space, which is exactly the generality the
+time-series specialisation gives up in exchange for indexability.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.objects import DataObject, FeatureVector
+
+__all__ = ["StringObject"]
+
+
+class StringObject(DataObject):
+    """A character string wrapped as a framework data object."""
+
+    def __init__(self, text: str, *, name: str | None = None,
+                 object_id: int | None = None, payload: Any = None) -> None:
+        super().__init__(object_id=object_id, name=name or text, payload=payload)
+        self.text = str(text)
+
+    def feature_vector(self, space=None) -> FeatureVector:
+        """A crude numeric embedding (character histogram over a-z).
+
+        The string domain is searched through the generic similarity engine,
+        not through a spatial index, so this embedding exists only to satisfy
+        the :class:`DataObject` interface (and for quick-and-dirty filtering
+        in examples).
+        """
+        counts = [0.0] * 27
+        for char in self.text.lower():
+            if "a" <= char <= "z":
+                counts[ord(char) - ord("a")] += 1.0
+            else:
+                counts[26] += 1.0
+        return FeatureVector(counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StringObject):
+            return self.text == other.text
+        if isinstance(other, str):
+            return self.text == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __repr__(self) -> str:
+        return f"StringObject({self.text!r})"

@@ -1,0 +1,48 @@
+"""The time-series domain: DFT features, normal forms, spectral transformations."""
+
+from . import dft
+from .distances import dtw_distance, dynamic_time_warping, euclidean, normalized_euclidean
+from .features import SeriesFeatureExtractor, SeriesFeatures
+from .generators import (
+    noisy_copy,
+    opposite_copy,
+    random_walk,
+    random_walk_collection,
+    scaled_shifted_copy,
+    seasonal_series,
+    trending_series,
+    warped_copy,
+)
+from .normalform import NormalForm, denormalize, normalize
+from .series import TimeSeries
+from .stockdata import StockArchiveConfig, bba_ztr_like_pair, make_stock_archive
+from .transforms import (
+    MovingAverageTransform,
+    NormalizeTransform,
+    ReverseTransform,
+    ScaleTransform,
+    ShiftTransform,
+    SpectralTransformation,
+    TimeWarpTransform,
+    identity_spectral,
+    moving_average_spectral,
+    reverse_spectral,
+    scale_spectral,
+    shift_spectral,
+    time_warp_linear,
+)
+
+__all__ = [
+    "dft",
+    "dtw_distance", "dynamic_time_warping", "euclidean", "normalized_euclidean",
+    "SeriesFeatureExtractor", "SeriesFeatures",
+    "random_walk", "random_walk_collection", "noisy_copy", "opposite_copy",
+    "scaled_shifted_copy", "seasonal_series", "trending_series", "warped_copy",
+    "NormalForm", "normalize", "denormalize",
+    "TimeSeries",
+    "StockArchiveConfig", "make_stock_archive", "bba_ztr_like_pair",
+    "SpectralTransformation", "MovingAverageTransform", "NormalizeTransform",
+    "ReverseTransform", "ScaleTransform", "ShiftTransform", "TimeWarpTransform",
+    "identity_spectral", "moving_average_spectral", "reverse_spectral",
+    "shift_spectral", "scale_spectral", "time_warp_linear",
+]

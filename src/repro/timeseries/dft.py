@@ -1,0 +1,173 @@
+"""The Discrete Fourier Transform used for feature extraction.
+
+The convention follows the paper: both the forward and the inverse transform
+carry a ``1/sqrt(n)`` factor (the *unitary* DFT),
+
+.. math::
+
+   X_f = \\frac{1}{\\sqrt{n}} \\sum_{t=0}^{n-1} x_t e^{-j 2\\pi t f / n},
+   \\qquad
+   x_t = \\frac{1}{\\sqrt{n}} \\sum_{f=0}^{n-1} X_f e^{+j 2\\pi t f / n}.
+
+With this convention Parseval's relation holds exactly
+(:func:`energy` is preserved) and therefore the Euclidean distance between two
+sequences equals the Euclidean distance between their coefficient vectors —
+the property that makes truncating to the first ``k`` coefficients a
+*no-false-dismissal* filter.
+
+Circular convolution corresponds to element-wise multiplication by the
+**non-unitary** DFT of the kernel (a ``sqrt(n)`` factor appears when both
+vectors use the unitary convention); :func:`convolution_multiplier` returns
+the multiplier vector that turns "convolve with this kernel in the time
+domain" into "multiply the unitary coefficients by this vector", which is
+exactly the form the transformation language needs.
+
+Both a direct ``O(n^2)`` reference implementation and a fast FFT-backed one
+are provided; the reference implementation exists so the test suite can check
+the fast path against first principles without trusting ``numpy`` twice.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "dft",
+    "inverse_dft",
+    "dft_reference",
+    "inverse_dft_reference",
+    "energy",
+    "circular_convolution",
+    "convolution_multiplier",
+    "leading_coefficients",
+    "distance_lower_bound",
+]
+
+
+def dft(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Unitary DFT of a real or complex sequence (FFT-backed)."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise ValueError("dft expects a one-dimensional sequence")
+    if array.shape[0] == 0:
+        return np.zeros(0, dtype=np.complex128)
+    return np.fft.fft(array.astype(np.complex128), norm="ortho")
+
+
+def inverse_dft(coefficients: Sequence[complex] | np.ndarray) -> np.ndarray:
+    """Inverse unitary DFT; returns a complex array (take ``.real`` for real input)."""
+    array = np.asarray(coefficients, dtype=np.complex128)
+    if array.ndim != 1:
+        raise ValueError("inverse_dft expects a one-dimensional sequence")
+    if array.shape[0] == 0:
+        return np.zeros(0, dtype=np.complex128)
+    return np.fft.ifft(array, norm="ortho")
+
+
+def dft_reference(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Direct ``O(n^2)`` unitary DFT (used to validate the FFT path in tests)."""
+    array = np.asarray(values, dtype=np.complex128)
+    n = array.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.complex128)
+    scale = 1.0 / math.sqrt(n)
+    out = np.zeros(n, dtype=np.complex128)
+    for f in range(n):
+        acc = 0j
+        for t in range(n):
+            acc += array[t] * cmath.exp(-2j * math.pi * t * f / n)
+        out[f] = scale * acc
+    return out
+
+
+def inverse_dft_reference(coefficients: Sequence[complex] | np.ndarray) -> np.ndarray:
+    """Direct ``O(n^2)`` inverse unitary DFT."""
+    array = np.asarray(coefficients, dtype=np.complex128)
+    n = array.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.complex128)
+    scale = 1.0 / math.sqrt(n)
+    out = np.zeros(n, dtype=np.complex128)
+    for t in range(n):
+        acc = 0j
+        for f in range(n):
+            acc += array[f] * cmath.exp(2j * math.pi * t * f / n)
+        out[t] = scale * acc
+    return out
+
+
+def energy(values: Sequence[float] | Sequence[complex] | np.ndarray) -> float:
+    """Signal energy ``sum |x_t|^2`` (Parseval: identical in both domains)."""
+    array = np.asarray(values)
+    return float(np.sum(np.abs(array) ** 2))
+
+
+def circular_convolution(x: Sequence[float] | np.ndarray,
+                         y: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Circular convolution ``(x * y)_i = sum_k x_k y_{(i - k) mod n}``.
+
+    Computed directly in the time domain; the frequency-domain identity is
+    exercised by the test suite rather than assumed here.
+    """
+    a = np.asarray(x, dtype=np.float64)
+    b = np.asarray(y, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("circular convolution needs sequences of equal length")
+    n = a.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    out = np.zeros(n)
+    for i in range(n):
+        out[i] = float(np.sum(a * b[(i - np.arange(n)) % n]))
+    return out
+
+
+def convolution_multiplier(kernel: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Frequency-domain multiplier equivalent to circular convolution with ``kernel``.
+
+    If ``X`` is the unitary DFT of ``x`` and ``A`` the vector returned here
+    for kernel ``w``, then the unitary DFT of ``conv(x, w)`` is exactly
+    ``A * X``.  ``A`` is the *non-unitary* DFT of the kernel
+    (``numpy.fft.fft`` without normalisation).
+    """
+    array = np.asarray(kernel, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("convolution_multiplier expects a one-dimensional kernel")
+    return np.fft.fft(array.astype(np.complex128))
+
+
+def leading_coefficients(values: Sequence[float] | np.ndarray, k: int,
+                         skip_first: bool = False) -> np.ndarray:
+    """The first ``k`` unitary DFT coefficients of a sequence.
+
+    ``skip_first`` drops coefficient 0 (proportional to the mean) before
+    taking ``k`` values — the layout used by the k-index on normal-form
+    series, whose first coefficient is identically zero.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    coefficients = dft(values)
+    start = 1 if skip_first else 0
+    selected = coefficients[start:start + k]
+    if selected.shape[0] < k:
+        selected = np.concatenate([selected, np.zeros(k - selected.shape[0],
+                                                      dtype=np.complex128)])
+    return selected
+
+
+def distance_lower_bound(x_coefficients: np.ndarray, y_coefficients: np.ndarray) -> float:
+    """Euclidean distance between two coefficient prefixes.
+
+    By Parseval, the distance computed on any prefix of the coefficient
+    vectors is a lower bound on the true distance between the sequences, so a
+    prefix distance exceeding a query threshold safely rejects a candidate.
+    """
+    a = np.asarray(x_coefficients, dtype=np.complex128)
+    b = np.asarray(y_coefficients, dtype=np.complex128)
+    if a.shape != b.shape:
+        raise ValueError("coefficient prefixes must have equal length")
+    return float(np.sqrt(np.sum(np.abs(a - b) ** 2)))

@@ -1,0 +1,93 @@
+"""Distances between time series, including the DTW baseline.
+
+The framework's similarity queries are built on the Euclidean distance (after
+transformations); dynamic time warping is provided as an independent baseline
+because the time-warping transformation of Appendix A is the framework's
+(far cheaper, index-friendly) answer to the same class of queries, and the
+ablation benchmarks compare the two.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = ["euclidean", "normalized_euclidean", "dynamic_time_warping", "dtw_distance"]
+
+
+def _values(series: TimeSeries | np.ndarray) -> np.ndarray:
+    return series.values if isinstance(series, TimeSeries) else np.asarray(series, dtype=np.float64)
+
+
+def euclidean(a: TimeSeries | np.ndarray, b: TimeSeries | np.ndarray) -> float:
+    """Plain Euclidean distance between equal-length series."""
+    x, y = _values(a), _values(b)
+    if x.shape != y.shape:
+        raise ValueError("series must have equal length")
+    return float(np.linalg.norm(x - y))
+
+
+def normalized_euclidean(a: TimeSeries | np.ndarray, b: TimeSeries | np.ndarray) -> float:
+    """Euclidean distance between the normal forms of two series."""
+    from .normalform import normal_form_values
+
+    x, _, _ = normal_form_values(_values(a))
+    y, _, _ = normal_form_values(_values(b))
+    if x.shape != y.shape:
+        raise ValueError("series must have equal length")
+    return float(np.linalg.norm(x - y))
+
+
+def dynamic_time_warping(a: TimeSeries | np.ndarray, b: TimeSeries | np.ndarray,
+                         window: int | None = None) -> tuple[float, list[tuple[int, int]]]:
+    """Classic DTW distance and the optimal alignment path.
+
+    Parameters
+    ----------
+    a, b:
+        The two series (they may have different lengths).
+    window:
+        Optional Sakoe–Chiba band half-width; alignments straying further
+        than ``window`` steps from the diagonal are forbidden.
+
+    Returns
+    -------
+    (distance, path):
+        ``distance`` is the square root of the summed squared differences
+        along the optimal alignment; ``path`` is the list of aligned index
+        pairs from ``(0, 0)`` to ``(len(a)-1, len(b)-1)``.
+    """
+    x, y = _values(a), _values(b)
+    n, m = x.shape[0], y.shape[0]
+    if n == 0 or m == 0:
+        raise ValueError("DTW requires non-empty series")
+    band = max(abs(n - m), window) if window is not None else max(n, m)
+    cost = np.full((n + 1, m + 1), math.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        j_low = max(1, i - band)
+        j_high = min(m, i + band)
+        for j in range(j_low, j_high + 1):
+            d = (x[i - 1] - y[j - 1]) ** 2
+            cost[i, j] = d + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+    # Backtrack the optimal path.
+    path: list[tuple[int, int]] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = [(cost[i - 1, j - 1], i - 1, j - 1),
+                 (cost[i - 1, j], i - 1, j),
+                 (cost[i, j - 1], i, j - 1)]
+        _, i, j = min(moves, key=lambda item: item[0])
+    path.reverse()
+    return float(math.sqrt(cost[n, m])), path
+
+
+def dtw_distance(a: TimeSeries | np.ndarray, b: TimeSeries | np.ndarray,
+                 window: int | None = None) -> float:
+    """Just the DTW distance (see :func:`dynamic_time_warping`)."""
+    distance, _ = dynamic_time_warping(a, b, window=window)
+    return distance

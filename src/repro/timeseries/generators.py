@@ -1,0 +1,130 @@
+"""Synthetic time-series workload generators.
+
+The companion evaluation uses random-walk sequences: ``x_0`` drawn from
+``[20, 99]`` and each step ``x_i = x_{i-1} + z_i`` with ``z_i`` drawn from
+``[-4, 4]``.  :func:`random_walk` reproduces that process; the remaining
+generators add shapes the motivating examples talk about (trends, seasonal
+patterns, noisy copies, opposite movers) so that query workloads contain
+planted answers rather than relying on chance.
+
+All generators take an explicit ``rng`` (a :class:`numpy.random.Generator`)
+or a ``seed`` so that every experiment is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = [
+    "make_rng",
+    "random_walk",
+    "random_walk_collection",
+    "trending_series",
+    "seasonal_series",
+    "noisy_copy",
+    "opposite_copy",
+    "scaled_shifted_copy",
+    "warped_copy",
+]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Build a random generator from a seed (pass-through for generators)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_walk(length: int, *, seed: int | np.random.Generator | None = None,
+                start_low: float = 20.0, start_high: float = 99.0,
+                step_low: float = -4.0, step_high: float = 4.0,
+                name: str | None = None) -> TimeSeries:
+    """One synthetic sequence following the evaluation's random-walk recipe."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    rng = make_rng(seed)
+    values = np.empty(length)
+    values[0] = rng.uniform(start_low, start_high)
+    steps = rng.uniform(step_low, step_high, size=length - 1)
+    values[1:] = values[0] + np.cumsum(steps)
+    return TimeSeries(values, name=name or "walk")
+
+
+def random_walk_collection(count: int, length: int, *,
+                           seed: int | np.random.Generator | None = None,
+                           name_prefix: str = "walk") -> list[TimeSeries]:
+    """``count`` independent random-walk sequences of the same length."""
+    rng = make_rng(seed)
+    return [random_walk(length, seed=rng, name=f"{name_prefix}-{i}") for i in range(count)]
+
+
+def trending_series(length: int, *, slope: float = 0.2, intercept: float = 50.0,
+                    noise: float = 1.0, seed: int | np.random.Generator | None = None,
+                    name: str = "trend") -> TimeSeries:
+    """A linear trend plus Gaussian noise (the "increased linearly" motif)."""
+    rng = make_rng(seed)
+    t = np.arange(length)
+    values = intercept + slope * t + rng.normal(0.0, noise, size=length)
+    return TimeSeries(values, name=name)
+
+
+def seasonal_series(length: int, *, period: float = 20.0, amplitude: float = 5.0,
+                    level: float = 50.0, noise: float = 0.5,
+                    seed: int | np.random.Generator | None = None,
+                    name: str = "seasonal") -> TimeSeries:
+    """A sinusoidal pattern plus noise (temperature-like periodic data)."""
+    rng = make_rng(seed)
+    t = np.arange(length)
+    values = level + amplitude * np.sin(2 * np.pi * t / period)
+    values = values + rng.normal(0.0, noise, size=length)
+    return TimeSeries(values, name=name)
+
+
+def noisy_copy(series: TimeSeries, *, noise: float = 0.5,
+               seed: int | np.random.Generator | None = None,
+               name: str | None = None) -> TimeSeries:
+    """A copy of ``series`` with independent Gaussian noise added."""
+    rng = make_rng(seed)
+    values = series.values + rng.normal(0.0, noise, size=len(series))
+    return series.with_values(values, name=name or f"{series.name}~noisy")
+
+
+def opposite_copy(series: TimeSeries, *, level: float | None = None, noise: float = 0.5,
+                  seed: int | np.random.Generator | None = None,
+                  name: str | None = None) -> TimeSeries:
+    """A series moving opposite to ``series`` (for hedging-style queries).
+
+    The copy mirrors the deviations of the original around its own mean, so
+    the two have strongly negative correlation, and is then re-centred at
+    ``level`` (default: the original mean).
+    """
+    rng = make_rng(seed)
+    center = series.mean()
+    target_level = center if level is None else float(level)
+    values = target_level - (series.values - center)
+    values = values + rng.normal(0.0, noise, size=len(series))
+    return series.with_values(values, name=name or f"{series.name}~opposite")
+
+
+def scaled_shifted_copy(series: TimeSeries, *, scale: float = 2.0, shift: float = 10.0,
+                        noise: float = 0.0,
+                        seed: int | np.random.Generator | None = None,
+                        name: str | None = None) -> TimeSeries:
+    """An affinely related copy (same shape, different level and amplitude)."""
+    rng = make_rng(seed)
+    values = series.values * scale + shift
+    if noise > 0:
+        values = values + rng.normal(0.0, noise, size=len(series))
+    return series.with_values(values, name=name or f"{series.name}~affine")
+
+
+def warped_copy(series: TimeSeries, factor: int, *, name: str | None = None) -> TimeSeries:
+    """The series with its time axis stretched by an integer factor."""
+    from .transforms import time_warp_values  # local import to avoid a cycle
+
+    return TimeSeries(time_warp_values(series.values, factor),
+                      name=name or f"{series.name}~warp{factor}")

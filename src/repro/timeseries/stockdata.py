@@ -1,0 +1,120 @@
+"""A synthetic stock-price archive.
+
+The original experiments used 1067 daily closing-price series of length 128
+taken from the (long defunct) ``ftp.ai.mit.edu/pub/stocks/results/`` archive.
+This module synthesises a statistically similar archive so the experiments
+that depend on real-data structure — in particular the self-join of Table 1
+and the answer-set-size sweep of Figure 12 — have non-trivial answers:
+
+* most series are geometric-random-walk-like prices with heterogeneous
+  volatility and drift (different price levels, like the $5–$40 range seen in
+  the examples);
+* a configurable number of *similar pairs* is planted: pairs of series whose
+  20-day moving averages of normal forms are close (they differ by short-term
+  noise, level and scale);
+* a configurable number of *opposite pairs* is planted: pairs that move in
+  opposite directions (for the hedging example).
+
+Every series is a :class:`~repro.timeseries.series.TimeSeries` whose name
+mimics a ticker symbol.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+import numpy as np
+
+from .generators import make_rng
+from .series import TimeSeries
+
+__all__ = ["StockArchiveConfig", "make_stock_archive", "bba_ztr_like_pair"]
+
+
+@dataclass(frozen=True)
+class StockArchiveConfig:
+    """Parameters of the synthetic archive (defaults match the original's shape)."""
+
+    num_series: int = 1067
+    length: int = 128
+    planted_similar_pairs: int = 8
+    planted_opposite_pairs: int = 4
+    min_price: float = 3.0
+    max_price: float = 60.0
+    seed: int = 20260614
+
+
+def _ticker(rng: np.random.Generator, used: set[str]) -> str:
+    letters = string.ascii_uppercase
+    while True:
+        size = int(rng.integers(2, 5))
+        name = "".join(rng.choice(list(letters)) for _ in range(size))
+        if name not in used:
+            used.add(name)
+            return name
+
+
+def _price_series(rng: np.random.Generator, length: int, min_price: float,
+                  max_price: float) -> np.ndarray:
+    level = float(rng.uniform(min_price, max_price))
+    volatility = float(rng.uniform(0.002, 0.03))
+    drift = float(rng.normal(0.0, 0.001))
+    log_returns = rng.normal(drift, volatility, size=length - 1)
+    prices = level * np.exp(np.concatenate([[0.0], np.cumsum(log_returns)]))
+    return np.maximum(prices, 0.5)
+
+
+def _noisy_relative(base: np.ndarray, rng: np.random.Generator, *,
+                    scale_low: float, scale_high: float, noise: float,
+                    flip: bool) -> np.ndarray:
+    scale = float(rng.uniform(scale_low, scale_high))
+    offset = float(rng.uniform(-5.0, 15.0))
+    shape = -(base - base.mean()) if flip else (base - base.mean())
+    values = shape * scale + base.mean() * scale + offset
+    values = values + rng.normal(0.0, noise * values.std(), size=values.shape[0])
+    return np.maximum(values, 0.5)
+
+
+def make_stock_archive(config: StockArchiveConfig | None = None) -> list[TimeSeries]:
+    """Build the synthetic archive described by ``config`` (deterministic)."""
+    config = config if config is not None else StockArchiveConfig()
+    if config.num_series < 2 * (config.planted_similar_pairs + config.planted_opposite_pairs):
+        raise ValueError("not enough series to hold the requested planted pairs")
+    rng = make_rng(config.seed)
+    used_names: set[str] = set()
+    archive: list[TimeSeries] = []
+
+    def add(values: np.ndarray) -> None:
+        archive.append(TimeSeries(values, name=_ticker(rng, used_names)))
+
+    for _ in range(config.planted_similar_pairs):
+        base = _price_series(rng, config.length, config.min_price, config.max_price)
+        add(base)
+        add(_noisy_relative(base, rng, scale_low=0.5, scale_high=2.0, noise=0.06,
+                            flip=False))
+    for _ in range(config.planted_opposite_pairs):
+        base = _price_series(rng, config.length, config.min_price, config.max_price)
+        add(base)
+        add(_noisy_relative(base, rng, scale_low=0.5, scale_high=2.0, noise=0.06,
+                            flip=True))
+    while len(archive) < config.num_series:
+        add(_price_series(rng, config.length, config.min_price, config.max_price))
+    return archive
+
+
+def bba_ztr_like_pair(length: int = 128, seed: int = 7) -> tuple[TimeSeries, TimeSeries]:
+    """A pair of series mimicking the BBA / ZTR example of Section 2.
+
+    One series has a price level around 9.5 with a standard deviation close
+    to 1.2 and the other a level around 8.6 with a much smaller deviation
+    (about 0.1), but both share the same underlying smoothed trend — so their
+    raw Euclidean distance is large while the distance of their 20-day moving
+    averaged normal forms is small.
+    """
+    rng = make_rng(seed)
+    t = np.arange(length)
+    trend = np.sin(2 * np.pi * t / 90.0) + 0.4 * np.sin(2 * np.pi * t / 35.0)
+    bba = 9.5 + 1.1 * trend + rng.normal(0.0, 0.35, size=length)
+    ztr = 8.64 + 0.09 * trend + rng.normal(0.0, 0.03, size=length)
+    return (TimeSeries(bba, name="BBA-like"), TimeSeries(ztr, name="ZTR-like"))

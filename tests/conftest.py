@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SeriesFeatureExtractor, TimeSeries, random_walk_collection
+from repro.index.kindex import KIndex
+from repro.index.scan import SequentialScan
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by the whole session."""
+    return np.random.default_rng(20260614)
+
+
+@pytest.fixture(scope="session")
+def walk_collection() -> list[TimeSeries]:
+    """A medium collection of random-walk series (length 64)."""
+    return random_walk_collection(120, 64, seed=99)
+
+
+@pytest.fixture(scope="session")
+def polar_extractor() -> SeriesFeatureExtractor:
+    """The evaluation's default feature configuration."""
+    return SeriesFeatureExtractor(num_coefficients=2, representation="polar")
+
+
+@pytest.fixture()
+def loaded_index(walk_collection, polar_extractor) -> KIndex:
+    """A k-index loaded with the shared walk collection."""
+    index = KIndex(polar_extractor)
+    index.extend(walk_collection)
+    return index
+
+
+@pytest.fixture()
+def loaded_scan(walk_collection, polar_extractor) -> SequentialScan:
+    """A sequential scan loaded with the shared walk collection."""
+    scan = SequentialScan(polar_extractor)
+    scan.extend(walk_collection)
+    return scan

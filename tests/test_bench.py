@@ -1,0 +1,161 @@
+"""Tests for the experiment harness: every experiment runs and its results
+have the qualitative shape the evaluation reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_engine_vs_dp,
+    ablation_num_coefficients,
+    ablation_representation,
+    ablation_tree_variants,
+    figure8_query_time_vs_length,
+    figure9_query_time_vs_count,
+    figure10_index_vs_scan_length,
+    figure11_index_vs_scan_count,
+    figure12_answer_set_size,
+    run_experiment,
+    section2_distance_trajectories,
+    table1_spatial_join,
+)
+from repro.bench.reporting import format_markdown_table, format_table, summarize_ratio
+from repro.bench.workloads import pick_queries, stock_workload, synthetic_workload
+from repro.timeseries.stockdata import StockArchiveConfig
+
+
+class TestWorkloads:
+    def test_synthetic_workload_shapes(self):
+        workload = synthetic_workload(40, 32, seed=1, num_queries=5)
+        assert len(workload) == 40
+        assert workload.length == 32
+        assert len(workload.index) == 40
+        assert len(workload.scan) == 40
+        assert len(workload.queries) == 5
+
+    def test_stock_workload(self):
+        workload = stock_workload(StockArchiveConfig(num_series=50, length=64))
+        assert len(workload) == 50
+        assert workload.length == 64
+
+    def test_pick_queries_deterministic(self):
+        data = synthetic_workload(30, 32, seed=2).data
+        assert [s.object_id for s in pick_queries(data, 5, seed=3)] == \
+            [s.object_id for s in pick_queries(data, 5, seed=3)]
+        assert pick_queries([], 5) == []
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert format_table([]) == "(no rows)"
+
+    def test_format_markdown(self):
+        rows = [{"x": 1}]
+        markdown = format_markdown_table(rows)
+        assert markdown.startswith("| x |")
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_summarize_ratio(self):
+        rows = [{"n": 2.0, "d": 1.0}, {"n": 6.0, "d": 2.0}]
+        assert summarize_ratio(rows, "n", "d") == pytest.approx(2.5)
+        assert summarize_ratio([{"n": 1.0, "d": 0.0}], "n", "d") == 0.0
+
+
+class TestCompanionExperiments:
+    def test_figure8_identity_transformation_same_node_accesses(self):
+        rows = figure8_query_time_vs_length(lengths=(32, 64), num_series=60,
+                                            repetitions=1)
+        assert len(rows) == 2
+        for row in rows:
+            # The transformation costs CPU only: the index is traversed
+            # identically with and without it.
+            assert row["node_accesses_with"] == row["node_accesses_without"]
+            assert row["with_transform_ms"] >= 0.0
+
+    def test_figure9_rows_cover_requested_counts(self):
+        rows = figure9_query_time_vs_count(counts=(40, 80), length=32, repetitions=1)
+        assert [row["num_sequences"] for row in rows] == [40, 80]
+
+    def test_figure10_index_beats_scan(self):
+        rows = figure10_index_vs_scan_length(lengths=(64,), num_series=250,
+                                             repetitions=1)
+        assert rows[0]["index_ms"] < rows[0]["scan_ms"]
+        assert rows[0]["speedup"] > 1.0
+
+    def test_figure11_index_advantage_grows_with_size(self):
+        rows = figure11_index_vs_scan_count(counts=(100, 400), length=64, repetitions=1)
+        assert rows[-1]["scan_ms"] > rows[0]["scan_ms"]
+        assert all(row["index_ms"] < row["scan_ms"] for row in rows)
+
+    def test_figure12_crossover_behaviour(self):
+        rows = figure12_answer_set_size(num_series=200, length=64,
+                                        fractions=(0.01, 0.4))
+        assert rows[0]["answer_set_size"] < rows[-1]["answer_set_size"]
+        # Small answer sets favour the index.
+        assert rows[0]["index_faster"]
+
+    def test_table1_method_ordering(self):
+        rows = table1_spatial_join(num_series=80, length=64)
+        by_method = {row["method"][0]: row for row in rows}
+        assert set(by_method) == {"a", "b", "c", "d"}
+        # Early abandoning beats the naive scan; both scans agree on answers.
+        assert by_method["b"]["seconds"] <= by_method["a"]["seconds"]
+        assert by_method["a"]["answer_set_size"] == by_method["b"]["answer_set_size"]
+        # Method (d) counts ordered pairs: twice the unordered count of (b).
+        assert by_method["d"]["answer_set_size"] == 2 * by_method["b"]["answer_set_size"]
+        # Method (c) omits the transformation, so it finds no more pairs than (d).
+        assert by_method["c"]["answer_set_size"] <= by_method["d"]["answer_set_size"]
+
+    def test_section2_trajectories_decrease(self):
+        rows = section2_distance_trajectories(length=64, window=10)
+        similar = rows[0]
+        assert similar["moving_average"] < similar["normal_form"] < similar["original"]
+        opposite = rows[1]
+        assert opposite["reversed"] < opposite["normal_form"]
+        dissimilar = rows[2]
+        # Repeated smoothing helps only marginally for genuinely dissimilar series.
+        assert dissimilar["third_moving_average"] > 0.2 * dissimilar["normal_form"]
+
+
+class TestAblations:
+    def test_more_coefficients_fewer_false_hits(self):
+        rows = ablation_num_coefficients(ks=(1, 4), num_series=150, length=64)
+        assert rows[0]["candidates"] >= rows[-1]["candidates"]
+        assert all(row["answers"] <= row["candidates"] for row in rows)
+
+    def test_representation_ablation(self):
+        rows = ablation_representation(num_series=100, length=64)
+        by_representation = {row["representation"]: row for row in rows}
+        assert by_representation["polar"]["supports_complex_multiplier"]
+        assert not by_representation["rectangular"]["supports_complex_multiplier"]
+
+    def test_tree_variant_ablation(self):
+        rows = ablation_tree_variants(num_points=400, dimension=4, queries=5)
+        variants = {row["variant"] for row in rows}
+        assert variants == {"rtree-linear", "rtree-quadratic", "rstar"}
+        answers = {row["answers"] for row in rows}
+        assert len(answers) == 1  # all variants return identical results
+
+    def test_engine_vs_dp_agreement(self):
+        rows = ablation_engine_vs_dp(word_length=3, pairs=4)
+        assert rows[0]["agreement"] == 1.0
+        assert rows[0]["slowdown"] >= 1.0
+
+
+class TestRegistry:
+    def test_registry_contains_all_experiments(self):
+        assert set(EXPERIMENTS) >= {"figure8", "figure9", "figure10", "figure11",
+                                    "figure12", "table1", "section2"}
+
+    def test_run_experiment_dispatch(self):
+        rows = run_experiment("ablation_engine", word_length=2, pairs=2)
+        assert rows
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("figure99")

@@ -1,0 +1,76 @@
+"""Tests for cost models and budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import AdditiveCostModel, CostBudget, MaxCostModel
+from repro.core.errors import CostExceededError
+
+
+class TestAdditiveCostModel:
+    def test_combine(self):
+        assert AdditiveCostModel().combine(2.0, 3.0) == 5.0
+
+    def test_total(self):
+        assert AdditiveCostModel().total([1.0, 2.0, 3.0]) == 6.0
+
+    def test_total_empty(self):
+        assert AdditiveCostModel().total([]) == 0.0
+
+    def test_within_budget(self):
+        model = AdditiveCostModel()
+        assert model.within_budget(3.0, 3.0)
+        assert not model.within_budget(3.1, 3.0)
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AdditiveCostModel().validate(-0.1)
+
+
+class TestMaxCostModel:
+    def test_combine_takes_max(self):
+        assert MaxCostModel().combine(2.0, 3.0) == 3.0
+        assert MaxCostModel().combine(5.0, 1.0) == 5.0
+
+    def test_total(self):
+        assert MaxCostModel().total([1.0, 4.0, 2.0]) == 4.0
+
+
+class TestCostBudget:
+    def test_spend_and_remaining(self):
+        budget = CostBudget(10.0)
+        budget.spend(4.0)
+        assert budget.spent == 4.0
+        assert budget.remaining == 6.0
+
+    def test_can_afford(self):
+        budget = CostBudget(10.0)
+        budget.spend(4.0)
+        assert budget.can_afford(6.0)
+        assert not budget.can_afford(6.1)
+
+    def test_overspending_raises(self):
+        budget = CostBudget(5.0)
+        budget.spend(3.0)
+        with pytest.raises(CostExceededError):
+            budget.spend(2.5)
+        # A failed spend must not corrupt the accumulated amount.
+        assert budget.spent == 3.0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CostBudget(-1.0)
+
+    def test_max_model_budget(self):
+        budget = CostBudget(5.0, model=MaxCostModel())
+        budget.spend(4.0)
+        budget.spend(3.0)  # max(4, 3) = 4 <= 5
+        assert budget.spent == 4.0
+        with pytest.raises(CostExceededError):
+            budget.spend(6.0)
+
+    def test_remaining_never_negative(self):
+        budget = CostBudget(1.0)
+        budget.spend(1.0)
+        assert budget.remaining == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the relational substrate (Relation, Database)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database, Relation, Row
+from repro.core.errors import CatalogError
+from repro.core.objects import GenericObject
+
+
+def _objects(count: int):
+    return [GenericObject([float(i)], name=f"o{i}") for i in range(count)]
+
+
+class TestRelation:
+    def test_insert_and_iterate(self):
+        relation = Relation("r", _objects(3))
+        assert len(relation) == 3
+        assert [obj.name for obj in relation] == ["o0", "o1", "o2"]
+
+    def test_insert_with_attributes(self):
+        relation = Relation("r")
+        row = relation.insert(GenericObject([1.0], name="x"), {"source": "nyse"})
+        assert row["source"] == "nyse"
+        assert row.get("missing", "default") == "default"
+
+    def test_duplicate_object_id_rejected(self):
+        relation = Relation("r")
+        obj = GenericObject([1.0], object_id=77)
+        relation.insert(obj)
+        with pytest.raises(CatalogError):
+            relation.insert(GenericObject([2.0], object_id=77))
+
+    def test_get_by_object_id(self):
+        objects = _objects(3)
+        relation = Relation("r", objects)
+        assert relation.get(objects[1].object_id).obj is objects[1]
+        assert objects[1].object_id in relation
+        with pytest.raises(CatalogError):
+            relation.get(-1)
+
+    def test_select(self):
+        relation = Relation("r", _objects(5))
+        filtered = relation.select(lambda row: row.obj.feature_vector()[0] >= 3.0)
+        assert len(filtered) == 2
+
+    def test_rows_and_objects_views(self):
+        relation = Relation("r", _objects(2))
+        assert all(isinstance(row, Row) for row in relation.rows())
+        assert len(relation.objects()) == 2
+
+    def test_extend(self):
+        relation = Relation("r")
+        relation.extend(_objects(4))
+        assert len(relation) == 4
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database("test")
+        relation = database.create_relation("prices", _objects(2))
+        assert database.relation("prices") is relation
+        assert "prices" in database
+        assert database.relations() == ["prices"]
+
+    def test_duplicate_relation_rejected(self):
+        database = Database()
+        database.create_relation("r")
+        with pytest.raises(CatalogError):
+            database.create_relation("r")
+
+    def test_unknown_relation(self):
+        with pytest.raises(CatalogError):
+            Database().relation("missing")
+
+    def test_register_and_get_index(self):
+        database = Database()
+        database.create_relation("r")
+        marker = object()
+        database.register_index("r", marker)
+        assert database.index("r") is marker
+        assert database.has_index("r")
+        assert not database.has_index("r", "secondary")
+        assert database.indexes() == [("r", "default")]
+
+    def test_index_requires_relation(self):
+        with pytest.raises(CatalogError):
+            Database().register_index("missing", object())
+
+    def test_missing_index(self):
+        database = Database()
+        database.create_relation("r")
+        with pytest.raises(CatalogError):
+            database.index("r")
+
+    def test_drop_relation_removes_indexes(self):
+        database = Database()
+        database.create_relation("r")
+        database.register_index("r", object())
+        database.drop_relation("r")
+        assert "r" not in database
+        assert database.indexes() == []
+        with pytest.raises(CatalogError):
+            database.drop_relation("r")

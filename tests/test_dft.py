@@ -1,0 +1,136 @@
+"""Tests for the DFT module: conventions, Parseval, convolution, warping basis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries import dft as dft_module
+
+sequences = st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                     min_size=2, max_size=32)
+
+
+class TestTransformPair:
+    def test_matches_reference_implementation(self):
+        rng = np.random.default_rng(51)
+        x = rng.uniform(-5, 5, size=16)
+        assert np.allclose(dft_module.dft(x), dft_module.dft_reference(x))
+        X = dft_module.dft(x)
+        assert np.allclose(dft_module.inverse_dft(X), dft_module.inverse_dft_reference(X))
+
+    def test_inverse_recovers_signal(self):
+        rng = np.random.default_rng(52)
+        x = rng.uniform(-5, 5, size=30)
+        assert np.allclose(np.real(dft_module.inverse_dft(dft_module.dft(x))), x)
+
+    def test_first_coefficient_is_scaled_mean(self):
+        x = np.array([2.0, 4.0, 6.0, 8.0])
+        X = dft_module.dft(x)
+        assert X[0] == pytest.approx(np.mean(x) * np.sqrt(len(x)))
+
+    def test_empty_and_invalid_input(self):
+        assert dft_module.dft([]).shape == (0,)
+        assert dft_module.inverse_dft([]).shape == (0,)
+        with pytest.raises(ValueError):
+            dft_module.dft(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            dft_module.inverse_dft(np.zeros((2, 2)))
+
+    @given(sequences)
+    @settings(max_examples=50)
+    def test_parseval(self, values):
+        x = np.array(values)
+        assert dft_module.energy(x) == pytest.approx(dft_module.energy(dft_module.dft(x)),
+                                                     rel=1e-9, abs=1e-6)
+
+    @given(sequences, sequences)
+    @settings(max_examples=40)
+    def test_distance_preservation(self, a, b):
+        size = min(len(a), len(b))
+        x, y = np.array(a[:size]), np.array(b[:size])
+        time_distance = np.linalg.norm(x - y)
+        freq_distance = np.sqrt(np.sum(np.abs(dft_module.dft(x) - dft_module.dft(y)) ** 2))
+        assert freq_distance == pytest.approx(time_distance, rel=1e-9, abs=1e-6)
+
+    @given(sequences, sequences,
+           st.floats(min_value=-3, max_value=3, allow_nan=False),
+           st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=40)
+    def test_linearity(self, a, b, alpha, beta):
+        size = min(len(a), len(b))
+        x, y = np.array(a[:size]), np.array(b[:size])
+        left = dft_module.dft(alpha * x + beta * y)
+        right = alpha * dft_module.dft(x) + beta * dft_module.dft(y)
+        assert np.allclose(left, right, atol=1e-6)
+
+
+class TestConvolution:
+    def test_definition_small_case(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 0.0, 0.0])
+        assert np.allclose(dft_module.circular_convolution(x, y), x)
+
+    def test_shift_kernel_rotates(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        shift_by_one = np.array([0.0, 1.0, 0.0, 0.0])
+        assert np.allclose(dft_module.circular_convolution(x, shift_by_one),
+                           [4.0, 1.0, 2.0, 3.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dft_module.circular_convolution([1.0, 2.0], [1.0])
+
+    @given(sequences, sequences)
+    @settings(max_examples=30)
+    def test_convolution_multiplier_identity(self, a, b):
+        """conv(x, w) in the time domain equals multiplying the unitary
+        spectrum of x by the multiplier derived from w."""
+        size = min(len(a), len(b))
+        x, w = np.array(a[:size]), np.array(b[:size])
+        direct = dft_module.circular_convolution(x, w)
+        via_freq = np.real(dft_module.inverse_dft(
+            dft_module.convolution_multiplier(w) * dft_module.dft(x)))
+        assert np.allclose(direct, via_freq, atol=1e-6)
+
+    def test_multiplier_rejects_matrices(self):
+        with pytest.raises(ValueError):
+            dft_module.convolution_multiplier(np.zeros((2, 2)))
+
+
+class TestLeadingCoefficients:
+    def test_prefix_and_padding(self):
+        x = np.arange(8.0)
+        full = dft_module.dft(x)
+        assert np.allclose(dft_module.leading_coefficients(x, 3), full[:3])
+        padded = dft_module.leading_coefficients(x, 12)
+        assert padded.shape == (12,)
+        assert np.allclose(padded[8:], 0.0)
+
+    def test_skip_first(self):
+        x = np.arange(8.0)
+        full = dft_module.dft(x)
+        assert np.allclose(dft_module.leading_coefficients(x, 3, skip_first=True), full[1:4])
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            dft_module.leading_coefficients([1.0, 2.0], -1)
+
+    @given(sequences, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_prefix_distance_is_lower_bound(self, values, k):
+        """The distance over any k-coefficient prefix never exceeds the full
+        distance — the property behind Lemma 1 (no false dismissals)."""
+        x = np.array(values)
+        rng = np.random.default_rng(5)
+        y = x + rng.normal(0, 1, size=x.shape[0])
+        k = min(k, x.shape[0])
+        prefix = dft_module.distance_lower_bound(dft_module.dft(x)[:k],
+                                                 dft_module.dft(y)[:k])
+        assert prefix <= np.linalg.norm(x - y) + 1e-6
+
+    def test_lower_bound_shape_check(self):
+        with pytest.raises(ValueError):
+            dft_module.distance_lower_bound(np.zeros(2), np.zeros(3))

@@ -1,0 +1,107 @@
+"""Tests for the base distance functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import (
+    chebyshev,
+    city_block,
+    euclidean,
+    euclidean_with_early_abandon,
+    get_distance,
+    minkowski,
+    squared_euclidean,
+    weighted_euclidean,
+)
+from repro.core.errors import DimensionMismatchError
+from repro.core.objects import FeatureVector
+
+vectors = st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                   min_size=1, max_size=12)
+
+
+class TestBasicMetrics:
+    def test_euclidean(self):
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_squared_euclidean(self):
+        assert squared_euclidean([0, 0], [3, 4]) == pytest.approx(25.0)
+
+    def test_city_block(self):
+        assert city_block([0, 0], [3, -4]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert chebyshev([1, 5], [4, 3]) == pytest.approx(3.0)
+
+    def test_minkowski_reduces_to_euclidean(self):
+        assert minkowski([0, 0], [3, 4], p=2) == pytest.approx(5.0)
+
+    def test_minkowski_infinite_p(self):
+        assert minkowski([0, 0], [3, 4], p=math.inf) == pytest.approx(4.0)
+
+    def test_minkowski_rejects_small_p(self):
+        with pytest.raises(ValueError):
+            minkowski([0], [1], p=0.5)
+
+    def test_weighted_euclidean(self):
+        assert weighted_euclidean([0, 0], [3, 4], [1.0, 0.0]) == pytest.approx(3.0)
+
+    def test_weighted_euclidean_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_euclidean([0], [1], [-1.0])
+
+    def test_accepts_feature_vectors(self):
+        assert euclidean(FeatureVector([1, 2]), FeatureVector([1, 2])) == 0.0
+
+    def test_accepts_complex_arrays(self):
+        assert euclidean(np.array([1 + 1j]), np.array([1 - 1j])) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            euclidean([1, 2], [1, 2, 3])
+
+    def test_registry_lookup(self):
+        assert get_distance("Euclidean") is euclidean
+        assert get_distance("manhattan") is city_block
+        with pytest.raises(ValueError):
+            get_distance("no-such-metric")
+
+    @given(vectors, vectors)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        origin = [0.0] * size
+        assert euclidean(a, b) <= euclidean(a, origin) + euclidean(origin, b) + 1e-9
+
+    @given(vectors)
+    @settings(max_examples=40)
+    def test_identity_of_indiscernibles(self, a):
+        assert euclidean(a, a) == 0.0
+        assert city_block(a, a) == 0.0
+
+
+class TestEarlyAbandon:
+    def test_returns_distance_within_threshold(self):
+        assert euclidean_with_early_abandon([0, 0], [3, 4], threshold=5.0) == pytest.approx(5.0)
+
+    def test_returns_none_beyond_threshold(self):
+        assert euclidean_with_early_abandon([0, 0], [3, 4], threshold=4.9) is None
+
+    @given(vectors, vectors, st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=60)
+    def test_agrees_with_full_distance(self, a, b, threshold):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        full = euclidean(a, b)
+        abandoned = euclidean_with_early_abandon(a, b, threshold)
+        if full <= threshold:
+            assert abandoned == pytest.approx(full)
+        else:
+            assert abandoned is None

@@ -1,0 +1,65 @@
+"""Smoke tests: the example scripts run end to end on reduced sizes."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    expected = {"quickstart.py", "stock_analysis.py", "time_warping.py",
+                "string_similarity.py", "index_vs_scan.py"}
+    assert expected <= {path.name for path in EXAMPLES_DIR.glob("*.py")}
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.NUM_SERIES = 120
+    module.main()
+    output = capsys.readouterr().out
+    assert "sequential scan agrees with the index: True" in output
+    assert "nearest neighbours" in output
+
+
+def test_string_similarity_runs(capsys):
+    module = _load("string_similarity")
+    module.main()
+    output = capsys.readouterr().out
+    assert "query" in output
+    assert "agree: True" in output
+
+
+def test_time_warping_runs(capsys):
+    module = _load("time_warping")
+    module.NUM_SERIES = 80
+    module.main()
+    output = capsys.readouterr().out
+    assert "the sampled stock" in output
+
+
+def test_stock_analysis_runs(capsys):
+    module = _load("stock_analysis")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Example 2.1" in output
+    assert "opposite movers" in output
+
+
+@pytest.mark.parametrize("name", ["index_vs_scan"])
+def test_other_examples_importable(name):
+    module = _load(name)
+    assert hasattr(module, "main")

@@ -1,0 +1,124 @@
+"""Tests for the object model (FeatureVector, DataObject, GenericObject)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.objects import DataObject, FeatureVector, GenericObject, ObjectIdAllocator
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                          allow_infinity=False)
+
+
+class TestFeatureVector:
+    def test_construction_from_list(self):
+        vector = FeatureVector([1.0, 2.0, 3.0])
+        assert vector.dimension == 3
+        assert vector.as_tuple() == (1.0, 2.0, 3.0)
+
+    def test_construction_from_array(self):
+        vector = FeatureVector(np.array([1.5, -2.5]))
+        assert vector[0] == 1.5
+        assert vector[1] == -2.5
+
+    def test_rejects_matrices(self):
+        with pytest.raises(DimensionMismatchError):
+            FeatureVector(np.zeros((2, 2)))
+
+    def test_values_are_read_only(self):
+        vector = FeatureVector([1.0, 2.0])
+        with pytest.raises(ValueError):
+            vector.values[0] = 5.0
+
+    def test_source_mutation_does_not_leak(self):
+        source = np.array([1.0, 2.0])
+        vector = FeatureVector(source)
+        source[0] = 99.0
+        assert vector[0] == 1.0
+
+    def test_equality_and_hash(self):
+        a = FeatureVector([1.0, 2.0])
+        b = FeatureVector([1.0, 2.0])
+        c = FeatureVector([1.0, 2.5])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_len_and_iter(self):
+        vector = FeatureVector([3.0, 4.0, 5.0])
+        assert len(vector) == 3
+        assert list(vector) == [3.0, 4.0, 5.0]
+
+    def test_add_subtract_multiply(self):
+        a = FeatureVector([1.0, 2.0])
+        b = FeatureVector([3.0, 4.0])
+        assert a.add(b) == FeatureVector([4.0, 6.0])
+        assert b.subtract(a) == FeatureVector([2.0, 2.0])
+        assert a.multiply(b) == FeatureVector([3.0, 8.0])
+
+    def test_scale(self):
+        assert FeatureVector([1.0, -2.0]).scale(3.0) == FeatureVector([3.0, -6.0])
+
+    def test_euclidean_distance(self):
+        assert FeatureVector([0.0, 0.0]).euclidean_distance(FeatureVector([3.0, 4.0])) == 5.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            FeatureVector([1.0]).add(FeatureVector([1.0, 2.0]))
+
+    def test_zeros_and_ones(self):
+        assert FeatureVector.zeros(3) == FeatureVector([0.0, 0.0, 0.0])
+        assert FeatureVector.ones(2) == FeatureVector([1.0, 1.0])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=16))
+    def test_roundtrip_tuple(self, values):
+        vector = FeatureVector(values)
+        assert FeatureVector(vector.as_tuple()) == vector
+
+    @given(st.lists(finite_floats, min_size=1, max_size=8),
+           st.lists(finite_floats, min_size=1, max_size=8))
+    def test_distance_symmetry(self, left, right):
+        size = min(len(left), len(right))
+        a, b = FeatureVector(left[:size]), FeatureVector(right[:size])
+        assert a.euclidean_distance(b) == pytest.approx(b.euclidean_distance(a))
+
+
+class TestDataObject:
+    def test_generic_object_features(self):
+        obj = GenericObject([1.0, 2.0, 3.0], name="g")
+        assert obj.feature_vector() == FeatureVector([1.0, 2.0, 3.0])
+        assert obj.dimension == 3
+        assert obj.name == "g"
+
+    def test_object_ids_are_unique(self):
+        a = GenericObject([1.0])
+        b = GenericObject([1.0])
+        assert a.object_id != b.object_id
+        assert a != b
+
+    def test_explicit_object_id_and_equality(self):
+        a = GenericObject([1.0], object_id=7)
+        b = GenericObject([2.0], object_id=7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_base_class_requires_feature_vector(self):
+        obj = DataObject(name="abstract")
+        with pytest.raises(NotImplementedError):
+            obj.feature_vector()
+
+    def test_default_name_derived_from_id(self):
+        obj = GenericObject([1.0], object_id=1234)
+        assert "1234" in obj.name
+
+    def test_allocator_is_monotonic(self):
+        allocator = ObjectIdAllocator(start=5)
+        assert allocator.next_id() == 5
+        assert allocator.next_id() == 6
+
+    def test_repr_mentions_name(self):
+        assert "quote" in repr(GenericObject([1.0], name="quote"))

@@ -1,0 +1,145 @@
+"""Tests for the pattern language P."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import PatternError
+from repro.core.objects import GenericObject
+from repro.core.patterns import (
+    AnyPattern,
+    ConstantPattern,
+    DifferencePattern,
+    IntersectionPattern,
+    PatternContext,
+    PredicatePattern,
+    RelationPattern,
+    TransformedPattern,
+    UnionPattern,
+)
+from repro.core.transformations import FunctionTransformation
+
+
+class TestConstantPattern:
+    def test_matches_only_the_constant(self):
+        pattern = ConstantPattern(42)
+        assert pattern.matches(42)
+        assert not pattern.matches(43)
+
+    def test_enumerate(self):
+        assert list(ConstantPattern("x").enumerate()) == ["x"]
+        assert ConstantPattern("x").is_enumerable()
+
+    def test_custom_equality(self):
+        context = PatternContext(equality=lambda a, b: abs(a - b) < 0.5)
+        assert ConstantPattern(1.0).matches(1.3, context)
+        assert not ConstantPattern(1.0).matches(1.7, context)
+
+
+class TestAnyPattern:
+    def test_matches_everything_without_relation(self):
+        assert AnyPattern().matches("whatever")
+
+    def test_enumerate_requires_relation(self):
+        with pytest.raises(PatternError):
+            list(AnyPattern().enumerate())
+
+    def test_enumerate_with_relation(self):
+        context = PatternContext(relation=[1, 2, 3])
+        assert list(AnyPattern().enumerate(context)) == [1, 2, 3]
+        assert AnyPattern().matches(2, context)
+        assert not AnyPattern().matches(9, context)
+
+
+class TestRelationPattern:
+    def _database(self) -> Database:
+        database = Database()
+        database.create_relation("items", [GenericObject([float(i)], name=f"o{i}")
+                                           for i in range(3)])
+        return database
+
+    def test_enumerate_resolves_relation(self):
+        context = PatternContext(database=self._database())
+        names = [obj.name for obj in RelationPattern("items").enumerate(context)]
+        assert names == ["o0", "o1", "o2"]
+
+    def test_matches_members_only(self):
+        database = self._database()
+        context = PatternContext(database=database)
+        member = next(iter(database.relation("items")))
+        assert RelationPattern("items").matches(member, context)
+        assert not RelationPattern("items").matches(GenericObject([9.0]), context)
+
+    def test_requires_database(self):
+        with pytest.raises(PatternError):
+            list(RelationPattern("items").enumerate())
+
+
+class TestCombinators:
+    def test_predicate_pattern(self):
+        even = PredicatePattern(lambda value: value % 2 == 0, name="even")
+        assert even.matches(4)
+        assert not even.matches(5)
+        assert not even.is_enumerable()
+        with pytest.raises(PatternError):
+            list(even.enumerate())
+
+    def test_union(self):
+        pattern = ConstantPattern(1).union(ConstantPattern(2))
+        assert pattern.matches(1)
+        assert pattern.matches(2)
+        assert not pattern.matches(3)
+        assert sorted(pattern.enumerate()) == [1, 2]
+
+    def test_union_deduplicates(self):
+        pattern = UnionPattern([ConstantPattern(1), ConstantPattern(1)])
+        assert list(pattern.enumerate()) == [1]
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(PatternError):
+            UnionPattern([])
+
+    def test_intersection(self):
+        small = PredicatePattern(lambda value: value < 3)
+        pattern = IntersectionPattern([UnionPattern([ConstantPattern(1), ConstantPattern(5)]),
+                                       small])
+        assert pattern.matches(1)
+        assert not pattern.matches(5)
+        assert list(pattern.enumerate()) == [1]
+
+    def test_intersection_needs_enumerable_member(self):
+        pattern = IntersectionPattern([PredicatePattern(lambda v: True)])
+        with pytest.raises(PatternError):
+            list(pattern.enumerate())
+
+    def test_difference(self):
+        pattern = DifferencePattern(UnionPattern([ConstantPattern(1), ConstantPattern(2)]),
+                                    ConstantPattern(2))
+        assert pattern.matches(1)
+        assert not pattern.matches(2)
+        assert list(pattern.enumerate()) == [1]
+
+    def test_minus_combinator(self):
+        pattern = ConstantPattern(1).minus(ConstantPattern(1))
+        assert not pattern.matches(1)
+
+
+class TestTransformedPattern:
+    def test_enumerate_applies_transformation(self):
+        double = FunctionTransformation(lambda x: 2 * x, name="double")
+        pattern = TransformedPattern(double, UnionPattern([ConstantPattern(1),
+                                                           ConstantPattern(3)]))
+        assert sorted(pattern.enumerate()) == [2, 6]
+
+    def test_matches_through_transformation(self):
+        double = FunctionTransformation(lambda x: 2 * x, name="double")
+        pattern = ConstantPattern(5).transformed(double)
+        assert pattern.matches(10)
+        assert not pattern.matches(5)
+
+    def test_membership_needs_enumerable_inner(self):
+        double = FunctionTransformation(lambda x: 2 * x, name="double")
+        pattern = TransformedPattern(double, PredicatePattern(lambda v: True))
+        with pytest.raises(PatternError):
+            pattern.matches(4)

@@ -1,0 +1,198 @@
+"""Tests for the query language: parser, planner and end-to-end execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import QueryPlanningError, QuerySyntaxError
+from repro.core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery
+from repro.core.query.executor import QueryEngine
+from repro.core.query.parser import parse, tokenize
+from repro.core.query.planner import (
+    IndexJoinPlan,
+    IndexNearestPlan,
+    IndexRangePlan,
+    Planner,
+    ScanNearestPlan,
+    ScanRangePlan,
+    explain,
+)
+from repro.index.kindex import KIndex
+from repro.timeseries.features import SeriesFeatureExtractor
+from repro.timeseries.generators import random_walk_collection
+from repro.timeseries.transforms import moving_average_spectral
+
+
+class TestParser:
+    def test_tokenize(self):
+        tokens = tokenize("SELECT FROM r WHERE dist(series, $q) < 2.5")
+        kinds = [token.kind for token in tokens]
+        assert "param" in kinds and "number" in kinds and "symbol" in kinds
+
+    def test_tokenize_rejects_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("SELECT ~ FROM r")
+
+    def test_parse_range_query(self):
+        query = parse("SELECT FROM prices WHERE dist(series, $q) < 2.5 USING mavg20")
+        assert query == RangeQuery(relation="prices", transformation="mavg20",
+                                   parameter="q", epsilon=2.5, transform_query=True)
+
+    def test_parse_range_query_raw(self):
+        query = parse("select from prices where dist(series, $q) < 1 using rev raw query")
+        assert isinstance(query, RangeQuery)
+        assert query.transform_query is False
+        assert query.epsilon == 1.0
+
+    def test_parse_nearest(self):
+        query = parse("SELECT FROM prices NEAREST 5 TO $target")
+        assert query == NearestNeighborQuery(relation="prices", transformation=None,
+                                             parameter="target", k=5, transform_query=True)
+
+    def test_parse_pairs(self):
+        query = parse("SELECT PAIRS FROM prices WHERE dist < 3.0 USING mavg20")
+        assert query == AllPairsQuery(relation="prices", transformation="mavg20",
+                                      epsilon=3.0)
+
+    @pytest.mark.parametrize("text", [
+        "",
+        "SELECT prices",
+        "SELECT FROM prices",
+        "SELECT FROM prices WHERE dist(series q) < 1",
+        "SELECT FROM prices WHERE dist(series, $q) < abc",
+        "SELECT FROM prices NEAREST x TO $q",
+        "SELECT FROM prices WHERE dist(series, $q) < 1 trailing",
+        "SELECT PAIRS FROM prices WHERE dist < 1 USING",
+    ])
+    def test_syntax_errors(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse(text)
+
+
+@pytest.fixture(scope="module")
+def engine_setup():
+    data = random_walk_collection(80, 64, seed=55)
+    database = Database("market")
+    database.create_relation("prices", data)
+    index = KIndex(SeriesFeatureExtractor(2))
+    index.extend(data)
+    database.register_index("prices", index)
+    engine = QueryEngine(database)
+    engine.register_transformation("mavg10", moving_average_spectral(64, 10))
+    return data, database, engine
+
+
+class TestPlanner:
+    def test_index_plan_when_index_exists(self, engine_setup):
+        _, database, _ = engine_setup
+        planner = Planner(database)
+        plan = planner.plan(RangeQuery(relation="prices", epsilon=1.0))
+        assert isinstance(plan, IndexRangePlan)
+        assert "prices" in explain(plan)
+
+    def test_scan_plan_without_index(self, engine_setup):
+        data, _, _ = engine_setup
+        database = Database()
+        database.create_relation("raw", data[:10])
+        planner = Planner(database)
+        assert isinstance(planner.plan(RangeQuery(relation="raw", epsilon=1.0)),
+                          ScanRangePlan)
+        assert isinstance(planner.plan(NearestNeighborQuery(relation="raw", k=2)),
+                          ScanNearestPlan)
+
+    def test_unknown_relation(self, engine_setup):
+        _, database, _ = engine_setup
+        with pytest.raises(QueryPlanningError):
+            Planner(database).plan(RangeQuery(relation="nope", epsilon=1.0))
+
+    def test_huge_threshold_prefers_scan(self, engine_setup):
+        _, database, _ = engine_setup
+        planner = Planner(database)
+        plan = planner.plan(RangeQuery(relation="prices", epsilon=1e6))
+        assert isinstance(plan, ScanRangePlan)
+        assert "crossover" in plan.reason
+
+    def test_unsafe_transformation_forces_scan(self, engine_setup):
+        data, _, _ = engine_setup
+        database = Database()
+        database.create_relation("prices", data)
+        rect_index = KIndex(SeriesFeatureExtractor(2, "rectangular"))
+        rect_index.extend(data)
+        database.register_index("prices", rect_index)
+        planner = Planner(database)
+        plan = planner.plan(RangeQuery(relation="prices", epsilon=1.0),
+                            transformation=moving_average_spectral(64, 10))
+        assert isinstance(plan, ScanRangePlan)
+
+    def test_nearest_and_join_prefer_index(self, engine_setup):
+        _, database, _ = engine_setup
+        planner = Planner(database)
+        assert isinstance(planner.plan(NearestNeighborQuery(relation="prices", k=3)),
+                          IndexNearestPlan)
+        assert isinstance(planner.plan(AllPairsQuery(relation="prices", epsilon=1.0)),
+                          IndexJoinPlan)
+
+
+class TestQueryEngine:
+    def test_range_query_end_to_end(self, engine_setup):
+        data, _, engine = engine_setup
+        outcome = engine.execute(
+            "SELECT FROM prices WHERE dist(series, $q) < 3.0 USING mavg10",
+            parameters={"q": data[0]})
+        assert isinstance(outcome.plan, IndexRangePlan)
+        assert any(series.object_id == data[0].object_id for series, _ in outcome.answers)
+        assert outcome.elapsed_seconds >= 0.0
+
+    def test_index_and_scan_plans_agree(self, engine_setup):
+        data, database, engine = engine_setup
+        query_text = "SELECT FROM prices WHERE dist(series, $q) < 4.0 USING mavg10"
+        with_index = engine.execute(query_text, parameters={"q": data[3]})
+        # A second engine over a catalog without the index must produce the
+        # same answers through the scan plan.
+        bare = Database()
+        bare.create_relation("prices", data)
+        scan_engine = QueryEngine(bare, {"mavg10": moving_average_spectral(64, 10)})
+        with_scan = scan_engine.execute(query_text, parameters={"q": data[3]})
+        assert isinstance(with_scan.plan, ScanRangePlan)
+        assert sorted(s.object_id for s, _ in with_index.answers) == \
+            sorted(s.object_id for s, _ in with_scan.answers)
+
+    def test_nearest_neighbor_query(self, engine_setup):
+        data, _, engine = engine_setup
+        outcome = engine.execute("SELECT FROM prices NEAREST 3 TO $q",
+                                 parameters={"q": data[5]})
+        assert len(outcome) == 3
+        assert outcome.answers[0][0].object_id == data[5].object_id
+
+    def test_all_pairs_query(self, engine_setup):
+        data, _, engine = engine_setup
+        outcome = engine.execute("SELECT PAIRS FROM prices WHERE dist < 1.0 USING mavg10")
+        for a, b, distance in outcome.answers:
+            assert a.object_id != b.object_id
+            assert distance <= 1.0
+
+    def test_missing_parameter(self, engine_setup):
+        _, _, engine = engine_setup
+        with pytest.raises(QueryPlanningError):
+            engine.execute("SELECT FROM prices WHERE dist(series, $q) < 1.0")
+
+    def test_unknown_transformation(self, engine_setup):
+        data, _, engine = engine_setup
+        with pytest.raises(QueryPlanningError):
+            engine.execute("SELECT FROM prices WHERE dist(series, $q) < 1.0 USING nope",
+                           parameters={"q": data[0]})
+
+    def test_ast_input_accepted(self, engine_setup):
+        data, _, engine = engine_setup
+        outcome = engine.execute(RangeQuery(relation="prices", epsilon=2.0, parameter="q"),
+                                 parameters={"q": data[1]})
+        assert len(outcome) >= 1
+
+    def test_register_transformation_later(self, engine_setup):
+        data, _, engine = engine_setup
+        engine.register_transformation("mavg5", moving_average_spectral(64, 5))
+        outcome = engine.execute(
+            "SELECT FROM prices WHERE dist(series, $q) < 2.0 USING mavg5",
+            parameters={"q": data[2]})
+        assert len(outcome) >= 1

@@ -1,0 +1,116 @@
+"""Tests for transformation rule sets and bounded-cost enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TransformationError
+from repro.core.rules import TransformationRuleSet, compose_linear
+from repro.core.transformations import (
+    ComposedTransformation,
+    FunctionTransformation,
+    IdentityTransformation,
+    LinearTransformation,
+)
+
+
+def _increment(cost: float = 1.0) -> FunctionTransformation:
+    return FunctionTransformation(lambda x: x + 1, cost=cost, name="inc")
+
+
+def _double(cost: float = 2.0) -> FunctionTransformation:
+    return FunctionTransformation(lambda x: 2 * x, cost=cost, name="double")
+
+
+class TestRuleSet:
+    def test_contains_identity_by_default(self):
+        rules = TransformationRuleSet()
+        assert "identity" in rules
+        assert len(rules) == 1
+
+    def test_can_exclude_identity(self):
+        rules = TransformationRuleSet(include_identity=False)
+        assert len(rules) == 0
+
+    def test_add_and_get(self):
+        rules = TransformationRuleSet([_increment()])
+        assert rules.get("inc").apply(1) == 2
+        assert "inc" in rules
+        assert "dec" not in rules
+
+    def test_duplicate_names_rejected(self):
+        rules = TransformationRuleSet([_increment()])
+        with pytest.raises(TransformationError):
+            rules.add(_increment())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TransformationError):
+            TransformationRuleSet().get("missing")
+
+    def test_negative_cost_rejected_via_model(self):
+        rules = TransformationRuleSet()
+        bad = FunctionTransformation(lambda x: x, name="bad")
+        bad.cost = -1.0  # bypass the constructor check on purpose
+        with pytest.raises(ValueError):
+            rules.add(bad)
+
+    def test_cheapest(self):
+        rules = TransformationRuleSet([_increment(1.0), _double(2.0)])
+        assert rules.cheapest().name == "inc"
+        assert TransformationRuleSet().cheapest() is None
+
+    def test_names_order(self):
+        rules = TransformationRuleSet([_increment(), _double()])
+        assert rules.names == ["identity", "inc", "double"]
+
+
+class TestBoundedEnumeration:
+    def test_empty_budget_yields_only_identity(self):
+        rules = TransformationRuleSet([_increment(1.0)])
+        sequences = list(rules.sequences_within(0.5, max_length=3))
+        assert len(sequences) == 1
+        assert isinstance(sequences[0], IdentityTransformation)
+
+    def test_negative_budget_yields_nothing(self):
+        rules = TransformationRuleSet([_increment(1.0)])
+        assert list(rules.sequences_within(-1.0)) == []
+
+    def test_enumeration_respects_budget(self):
+        rules = TransformationRuleSet([_increment(1.0), _double(2.0)])
+        sequences = list(rules.sequences_within(2.0, max_length=3))
+        for sequence in sequences:
+            assert sequence.cost <= 2.0
+        # inc, double, inc.inc are affordable; inc.double (3.0) is not.
+        names = {s.name for s in sequences if not isinstance(s, IdentityTransformation)}
+        assert "inc" in names
+        assert "double" in names
+        assert any("inc . inc" == name for name in names)
+        assert not any("double" in name and "inc" in name for name in names)
+
+    def test_enumeration_is_capped(self):
+        rules = TransformationRuleSet([FunctionTransformation(lambda x: x, cost=0.0,
+                                                              name=f"t{i}")
+                                       for i in range(5)])
+        sequences = list(rules.sequences_within(10.0, max_length=5, max_sequences=50))
+        assert len(sequences) <= 50
+
+    def test_composed_sequences_apply_in_order(self):
+        rules = TransformationRuleSet([_increment(1.0), _double(1.0)])
+        sequences = [s for s in rules.sequences_within(2.0, max_length=2)
+                     if isinstance(s, ComposedTransformation)]
+        results = {s.name: s.apply(3) for s in sequences}
+        assert results["inc . double"] == 8
+        assert results["double . inc"] == 7
+
+
+class TestComposeLinear:
+    def test_fold(self):
+        first = LinearTransformation([2.0], [1.0], cost=1.0)
+        second = LinearTransformation([3.0], [0.0], cost=2.0)
+        folded = compose_linear([first, second])
+        assert folded.cost == 3.0
+        assert folded.apply([1.0])[0] == pytest.approx(second.apply(first.apply([1.0]))[0])
+
+    def test_empty_fold_rejected(self):
+        with pytest.raises(TransformationError):
+            compose_linear([])

@@ -1,0 +1,119 @@
+"""Tests for the safety theory (Definition 1 and Theorems 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import UnsafeTransformationError
+from repro.core.safety import (
+    complex_multiplier_counterexample,
+    empirical_safety_check,
+    ensure_safe,
+    is_safe,
+    safe_space_for,
+)
+from repro.core.spaces import PolarSpace, RectangularSpace
+from repro.core.transformations import LinearTransformation, RealLinearTransformation
+
+reals = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+class TestSafetyPredicates:
+    def test_real_multiplier_safe_in_rect(self):
+        t = LinearTransformation([2.0, -1.0], [1 + 1j, 2.0])
+        assert is_safe(t, RectangularSpace(2, 0))
+
+    def test_complex_multiplier_safe_in_polar_only(self):
+        t = LinearTransformation([1j, 2 - 1j])
+        assert is_safe(t, PolarSpace(2, 0))
+        assert not is_safe(t, RectangularSpace(2, 0))
+
+    def test_ensure_safe_raises(self):
+        with pytest.raises(UnsafeTransformationError):
+            ensure_safe(LinearTransformation([1j]), RectangularSpace(1, 0))
+        ensure_safe(LinearTransformation([1j]), PolarSpace(1, 0))  # no exception
+
+    def test_safe_space_selection(self):
+        real_mult = LinearTransformation([2.0], [1 + 1j])
+        complex_mult = LinearTransformation([1j])
+        assert isinstance(safe_space_for(real_mult), RectangularSpace)
+        assert isinstance(safe_space_for(complex_mult), PolarSpace)
+
+    def test_safe_space_impossible_combination(self):
+        with pytest.raises(UnsafeTransformationError):
+            safe_space_for(LinearTransformation([1j], [1.0]))
+
+
+class TestCounterexample:
+    def test_paper_counterexample_violates_containment(self):
+        """Multiplying by 2-3j maps an interior point outside the axis-aligned
+        bounding box of the transformed corners (the paper's example)."""
+        data = complex_multiplier_counterexample()
+        low_x = min(data["image_low"].real, data["image_high"].real)
+        high_x = max(data["image_low"].real, data["image_high"].real)
+        low_y = min(data["image_low"].imag, data["image_high"].imag)
+        high_y = max(data["image_low"].imag, data["image_high"].imag)
+        point = data["image_point"]
+        inside = (low_x <= point.real <= high_x) and (low_y <= point.imag <= high_y)
+        assert not inside
+        # While the pre-image point was strictly inside the original rectangle.
+        original = data["interior_point"]
+        assert -5 < original.real < 5 and -5 < original.imag < 5
+
+
+class TestEmpiricalSafety:
+    @given(st.lists(st.floats(min_value=0.1, max_value=20).flatmap(
+               lambda magnitude: st.sampled_from([magnitude, -magnitude])),
+               min_size=2, max_size=6),
+           st.lists(reals, min_size=2, max_size=6))
+    @settings(max_examples=40)
+    def test_theorem1_real_stretch_translation_is_safe(self, scale, shift):
+        # A zero stretch collapses the space (exterior points land inside the
+        # degenerate image), so Theorem 1 is about non-singular stretches.
+        size = min(len(scale), len(shift))
+        transformation = RealLinearTransformation(scale[:size], shift[:size])
+        rng = np.random.default_rng(3)
+        low = rng.uniform(-10, 0, size=size)
+        high = low + rng.uniform(0.5, 10, size=size)
+        points = rng.uniform(-20, 20, size=(40, size))
+        assert empirical_safety_check(transformation, low, high, points)
+
+    def test_theorem2_lowered_rect_transformation_is_safe(self):
+        space = RectangularSpace(2, 1)
+        t = LinearTransformation([2.0, -0.5], [1 + 2j, -1j],
+                                 extra_multiplier=[3.0], extra_offset=[-2.0])
+        real = t.to_real(space)
+        rng = np.random.default_rng(4)
+        low = rng.uniform(-5, 0, size=space.dimension)
+        high = low + rng.uniform(1, 5, size=space.dimension)
+        points = rng.uniform(-10, 10, size=(60, space.dimension))
+        assert empirical_safety_check(real, low, high, points)
+
+    def test_theorem3_lowered_polar_transformation_is_safe(self):
+        space = PolarSpace(2, 0)
+        t = LinearTransformation([1 + 1j, -2j])
+        real = t.to_real(space)
+        rng = np.random.default_rng(5)
+        low = np.array([0.5, -1.0, 0.2, 0.0])
+        high = low + np.array([2.0, 1.5, 3.0, 1.0])
+        points = np.column_stack([rng.uniform(0, 4, 60), rng.uniform(-3, 3, 60),
+                                  rng.uniform(0, 4, 60), rng.uniform(-3, 3, 60)])
+        assert empirical_safety_check(real, low, high, points)
+
+    def test_unsafe_map_detected(self):
+        """A genuinely non-affine 'transformation' breaks the empirical check."""
+
+        class CollapseFarPoints(RealLinearTransformation):
+            def apply(self, obj):
+                values = np.asarray(obj, dtype=np.float64)
+                if values.ndim == 1 and values[0] > 2.0:
+                    return np.zeros_like(values)  # an exterior point lands inside
+                return values
+
+        collapse = CollapseFarPoints([1.0, 1.0], [0.0, 0.0])
+        low, high = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        points = np.array([[0.8, 0.2], [0.2, 0.2], [3.0, 3.0]])
+        assert not empirical_safety_check(collapse, low, high, points)

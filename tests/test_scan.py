@@ -1,0 +1,85 @@
+"""Tests for the sequential-scan baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.scan import SequentialScan
+from repro.storage.pages import PageStore
+from repro.timeseries.features import SeriesFeatureExtractor
+from repro.timeseries.generators import random_walk_collection
+from repro.timeseries.transforms import moving_average_spectral
+
+
+class TestScanQueries:
+    def test_early_abandon_equals_full_computation(self, loaded_scan, walk_collection):
+        query = walk_collection[0]
+        for epsilon in (0.5, 3.0, 10.0):
+            fast = loaded_scan.range_query(query, epsilon, early_abandon=True)
+            slow = loaded_scan.range_query(query, epsilon, early_abandon=False)
+            assert sorted(s.object_id for s, _ in fast.answers) == \
+                sorted(s.object_id for s, _ in slow.answers)
+            for (_, a), (_, b) in zip(fast.answers, slow.answers):
+                assert a == pytest.approx(b)
+
+    def test_epsilon_validation(self, loaded_scan, walk_collection):
+        with pytest.raises(ValueError):
+            loaded_scan.range_query(walk_collection[0], -1.0)
+
+    def test_nearest_neighbors_k_validation(self, loaded_scan, walk_collection):
+        with pytest.raises(ValueError):
+            loaded_scan.nearest_neighbors(walk_collection[0], k=0)
+
+    def test_nearest_neighbors_sorted(self, loaded_scan, walk_collection):
+        answers = loaded_scan.nearest_neighbors(walk_collection[1], k=5)
+        distances = [d for _, d in answers]
+        assert distances == sorted(distances)
+        assert answers[0][0].object_id == walk_collection[1].object_id
+
+    def test_all_pairs_counts_unordered_pairs_once(self):
+        data = random_walk_collection(20, 32, seed=7)
+        scan = SequentialScan()
+        scan.extend(data)
+        pairs, stats = scan.all_pairs(1e9)
+        assert len(pairs) == 20 * 19 // 2
+        assert stats.postprocessed == 20 * 19 // 2
+
+    def test_all_pairs_early_abandon_equivalence(self):
+        data = random_walk_collection(25, 32, seed=8)
+        scan = SequentialScan()
+        scan.extend(data)
+        smoothing = moving_average_spectral(32, 5)
+        fast, _ = scan.all_pairs(3.0, transformation=smoothing, early_abandon=True)
+        slow, _ = scan.all_pairs(3.0, transformation=smoothing, early_abandon=False)
+        assert {frozenset((a.object_id, b.object_id)) for a, b, _ in fast} == \
+            {frozenset((a.object_id, b.object_id)) for a, b, _ in slow}
+
+    def test_transformed_distances_match_full_definition(self, walk_collection):
+        """The scan's transformed distance equals the distance between fully
+        transformed extractions computed from scratch."""
+        extractor = SeriesFeatureExtractor(2)
+        scan = SequentialScan(extractor)
+        scan.extend(walk_collection[:10])
+        smoothing = moving_average_spectral(64, 10)
+        query = walk_collection[0]
+        result = scan.range_query(query, 1e9, transformation=smoothing,
+                                  early_abandon=False)
+        query_features = extractor.extract(query)
+        query_record = scan._transformed_record(query_features, smoothing)  # noqa: SLF001
+        for series, distance in result.answers:
+            features = extractor.extract(series)
+            record = scan._transformed_record(features, smoothing)  # noqa: SLF001
+            expected = np.sqrt(np.sum(np.abs(record[0] - query_record[0]) ** 2)
+                               + (record[1] - query_record[1]) ** 2
+                               + (record[2] - query_record[2]) ** 2)
+            assert distance == pytest.approx(float(expected), rel=1e-9)
+
+    def test_page_store_charged_per_query(self):
+        store = PageStore()
+        scan = SequentialScan(page_store=store, records_per_page=4)
+        scan.extend(random_walk_collection(20, 32, seed=9))
+        reads_before = store.stats.reads
+        scan.range_query(scan._records[0][0], 1.0)  # noqa: SLF001 - test shortcut
+        assert store.stats.reads - reads_before == len(scan._pages)  # noqa: SLF001
+        assert len(scan._pages) == 5  # noqa: SLF001 - 20 records / 4 per page

@@ -1,0 +1,167 @@
+"""Tests for the rectangular and polar feature spaces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.objects import FeatureVector
+from repro.core.spaces import PolarSpace, RectangularSpace
+
+complex_features = st.lists(
+    st.complex_numbers(min_magnitude=0.0, max_magnitude=1e3, allow_nan=False,
+                       allow_infinity=False),
+    min_size=1, max_size=4)
+
+
+class TestRectangularSpace:
+    def test_dimension(self):
+        assert RectangularSpace(3, 2).dimension == 8
+
+    def test_encode_layout(self):
+        space = RectangularSpace(2, 1)
+        point = space.encode([1 + 2j, 3 - 4j], [7.0])
+        assert point.as_tuple() == (7.0, 1.0, 2.0, 3.0, -4.0)
+
+    def test_roundtrip(self):
+        space = RectangularSpace(2, 2)
+        extra, feats = space.decode(space.encode([1 + 1j, -2j], [0.5, 1.5]))
+        assert np.allclose(extra, [0.5, 1.5])
+        assert np.allclose(feats, [1 + 1j, -2j])
+
+    def test_encode_arity_checks(self):
+        space = RectangularSpace(2, 1)
+        with pytest.raises(DimensionMismatchError):
+            space.encode([1 + 1j], [0.0])
+        with pytest.raises(DimensionMismatchError):
+            space.encode([1 + 1j, 2j], [])
+
+    def test_search_rectangle_is_symmetric_box(self):
+        space = RectangularSpace(1, 0)
+        low, high = space.search_rectangle(space.encode([3 + 4j]), 0.5)
+        assert np.allclose(low, [2.5, 3.5])
+        assert np.allclose(high, [3.5, 4.5])
+
+    def test_search_rectangle_rejects_negative_epsilon(self):
+        space = RectangularSpace(1, 0)
+        with pytest.raises(ValueError):
+            space.search_rectangle(space.encode([1 + 1j]), -1.0)
+
+    def test_distance_matches_complex_distance(self):
+        space = RectangularSpace(2, 0)
+        a = space.encode([1 + 1j, 2 + 2j])
+        b = space.encode([1 - 1j, 2 + 2j])
+        assert space.distance(a, b) == pytest.approx(2.0)
+
+    @given(complex_features)
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, feats):
+        space = RectangularSpace(len(feats), 0)
+        _, decoded = space.decode(space.encode(feats))
+        assert np.allclose(decoded, feats)
+
+    def test_equality_and_hash(self):
+        assert RectangularSpace(2, 1) == RectangularSpace(2, 1)
+        assert RectangularSpace(2, 1) != RectangularSpace(2, 0)
+        assert RectangularSpace(2, 1) != PolarSpace(2, 1)
+        assert hash(RectangularSpace(2, 1)) == hash(RectangularSpace(2, 1))
+
+
+class TestPolarSpace:
+    def test_encode_layout(self):
+        space = PolarSpace(1, 0)
+        point = space.encode([1j])
+        assert point[0] == pytest.approx(1.0)
+        assert point[1] == pytest.approx(math.pi / 2)
+
+    def test_roundtrip(self):
+        space = PolarSpace(2, 1)
+        extra, feats = space.decode(space.encode([3 + 4j, -1 - 1j], [2.0]))
+        assert np.allclose(extra, [2.0])
+        assert np.allclose(feats, [3 + 4j, -1 - 1j])
+
+    def test_distance_matches_complex_distance(self):
+        space = PolarSpace(1, 0)
+        a = space.encode([2 + 0j])
+        b = space.encode([0 + 2j])
+        assert space.distance(a, b) == pytest.approx(abs((2 + 0j) - 2j))
+
+    def test_search_rectangle_small_epsilon(self):
+        space = PolarSpace(1, 0)
+        point = space.encode([4 + 0j])
+        low, high = space.search_rectangle(point, 2.0)
+        assert low[0] == pytest.approx(2.0)
+        assert high[0] == pytest.approx(6.0)
+        assert low[1] == pytest.approx(-math.asin(0.5))
+        assert high[1] == pytest.approx(math.asin(0.5))
+
+    def test_search_rectangle_large_epsilon_covers_all_angles(self):
+        space = PolarSpace(1, 0)
+        low, high = space.search_rectangle(space.encode([1 + 0j]), 5.0)
+        assert low[0] == 0.0  # magnitudes never go negative
+        assert low[1] == pytest.approx(-math.pi)
+        assert high[1] == pytest.approx(math.pi)
+
+    @given(complex_features, st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=60)
+    def test_search_rectangle_contains_epsilon_ball(self, feats, epsilon):
+        """No false dismissals: every point within epsilon of the query has
+        its polar encoding inside the search rectangle (angles mod 2*pi)."""
+        space = PolarSpace(len(feats), 0)
+        query = space.encode(feats)
+        low, high = space.search_rectangle(query, epsilon)
+        rng = np.random.default_rng(0)
+        base = np.asarray(feats, dtype=np.complex128)
+        for _ in range(10):
+            direction = rng.normal(size=len(feats)) + 1j * rng.normal(size=len(feats))
+            norm = np.linalg.norm(direction)
+            if norm == 0:
+                continue
+            offset = direction / norm * rng.uniform(0, epsilon)
+            neighbor = space.encode(base + offset)
+            for i in range(len(feats)):
+                magnitude = neighbor[2 * i]
+                angle = neighbor[2 * i + 1]
+                assert low[2 * i] - 1e-9 <= magnitude <= high[2 * i] + 1e-9
+                assert PolarSpace.angle_intervals_overlap(angle, angle,
+                                                          low[2 * i + 1], high[2 * i + 1])
+
+    def test_normalize_angle(self):
+        assert PolarSpace.normalize_angle(3 * math.pi) == pytest.approx(math.pi)
+        assert PolarSpace.normalize_angle(-math.pi / 2) == pytest.approx(-math.pi / 2)
+        assert -math.pi < PolarSpace.normalize_angle(123.456) <= math.pi
+
+    def test_angle_interval_overlap_with_wraparound(self):
+        # [pi - 0.1, pi + 0.2] wraps; -pi + 0.05 is inside it.
+        assert PolarSpace.angle_intervals_overlap(math.pi - 0.1, math.pi + 0.2,
+                                                  -math.pi + 0.05, -math.pi + 0.05)
+        assert not PolarSpace.angle_intervals_overlap(0.0, 0.1, 1.0, 1.1)
+        assert PolarSpace.angle_intervals_overlap(-math.pi, math.pi, 2.0, 2.1)
+
+    def test_mindist_lower_bounds_true_distance(self):
+        """The annular-sector bound never exceeds the true complex distance to
+        any point encoded inside the rectangle."""
+        space = PolarSpace(1, 0)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            target = complex(rng.normal(scale=3), rng.normal(scale=3))
+            query = complex(rng.normal(scale=3), rng.normal(scale=3))
+            target_point = space.encode([target])
+            low = np.array([target_point[0] - rng.uniform(0, 1),
+                            target_point[1] - rng.uniform(0, 1)])
+            high = np.array([target_point[0] + rng.uniform(0, 1),
+                             target_point[1] + rng.uniform(0, 1)])
+            low[0] = max(0.0, low[0])
+            bound = space.mindist_to_rectangle(space.encode([query]), low, high)
+            assert bound <= abs(query - target) + 1e-9
+
+    def test_mindist_zero_when_inside(self):
+        space = PolarSpace(1, 1)
+        point = space.encode([2 + 2j], [5.0])
+        low, high = space.search_rectangle(point, 0.5)
+        assert space.mindist_to_rectangle(point, low, high) == pytest.approx(0.0)

@@ -1,0 +1,120 @@
+"""Tests for the simulated page store and buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import PageStore
+
+
+class TestPageStore:
+    def test_allocate_and_read(self):
+        store = PageStore()
+        page_id = store.allocate(payload={"a": 1})
+        assert store.read(page_id) == {"a": 1}
+        assert page_id in store
+        assert len(store) == 1
+
+    def test_write_overwrites(self):
+        store = PageStore()
+        page_id = store.allocate("old")
+        store.write(page_id, "new")
+        assert store.read(page_id) == "new"
+
+    def test_counters(self):
+        store = PageStore()
+        page_id = store.allocate()
+        store.read(page_id)
+        store.read(page_id)
+        store.write(page_id, 1)
+        assert store.stats.reads == 2
+        assert store.stats.writes == 2  # allocation counts as one write
+        assert store.stats.allocations == 1
+        assert store.stats.total == 4
+        store.stats.reset()
+        assert store.stats.total == 0
+
+    def test_free(self):
+        store = PageStore()
+        page_id = store.allocate()
+        store.free(page_id)
+        assert page_id not in store
+        with pytest.raises(StorageError):
+            store.read(page_id)
+
+    def test_missing_page(self):
+        with pytest.raises(StorageError):
+            PageStore().read(12345)
+
+    def test_entries_per_page(self):
+        store = PageStore(page_size=4096)
+        assert store.entries_per_page(100) == 40
+        assert store.entries_per_page(10000) == 1
+        with pytest.raises(StorageError):
+            store.entries_per_page(0)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(StorageError):
+            PageStore(page_size=0)
+
+    def test_snapshot(self):
+        store = PageStore()
+        store.allocate()
+        snapshot = store.stats.snapshot()
+        assert snapshot["allocations"] == 1
+        assert "total" in snapshot
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        store = PageStore()
+        page_id = store.allocate("payload")
+        pool = BufferPool(store, capacity=4)
+        assert pool.read(page_id) == "payload"
+        assert pool.read(page_id) == "payload"
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_eviction_lru(self):
+        store = PageStore()
+        ids = [store.allocate(i) for i in range(5)]
+        pool = BufferPool(store, capacity=2)
+        pool.read(ids[0])
+        pool.read(ids[1])
+        pool.read(ids[2])  # evicts ids[0]
+        assert pool.stats.evictions == 1
+        store_reads_before = store.stats.reads
+        pool.read(ids[1])  # still resident
+        assert store.stats.reads == store_reads_before
+        pool.read(ids[0])  # miss again
+        assert pool.stats.misses == 4
+
+    def test_write_through(self):
+        store = PageStore()
+        page_id = store.allocate("v1")
+        pool = BufferPool(store, capacity=2)
+        pool.write(page_id, "v2")
+        assert store.read(page_id) == "v2"
+        assert pool.read(page_id) == "v2"
+        assert pool.stats.hits == 1  # the cached copy served the read
+
+    def test_invalidate_and_clear(self):
+        store = PageStore()
+        page_id = store.allocate("x")
+        pool = BufferPool(store, capacity=2)
+        pool.read(page_id)
+        pool.invalidate(page_id)
+        pool.read(page_id)
+        assert pool.stats.misses == 2
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool(PageStore(), capacity=0)
+
+    def test_hit_ratio_with_no_accesses(self):
+        assert BufferPool(PageStore()).stats.hit_ratio == 0.0

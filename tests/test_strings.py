@@ -1,0 +1,141 @@
+"""Tests for the string domain: edit transformations, DP distance, engine cross-check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.distance import (
+    hamming_distance,
+    transformation_edit_distance,
+    weighted_edit_distance,
+)
+from repro.strings.edit_transforms import (
+    DeleteCharacter,
+    InsertCharacter,
+    SubstituteCharacter,
+    TargetedEditExpander,
+    TransposeAdjacent,
+    edit_rule_set,
+)
+from repro.strings.objects import StringObject
+
+words = st.text(alphabet="abc", min_size=0, max_size=5)
+
+
+class TestStringObject:
+    def test_equality_with_strings(self):
+        assert StringObject("abc") == "abc"
+        assert StringObject("abc") == StringObject("abc")
+        assert StringObject("abc") != StringObject("abd")
+
+    def test_feature_vector_histogram(self):
+        vector = StringObject("aab!").feature_vector()
+        assert vector[0] == 2.0  # 'a'
+        assert vector[1] == 1.0  # 'b'
+        assert vector[26] == 1.0  # non-letter bucket
+
+    def test_hashable(self):
+        assert len({StringObject("x"), StringObject("x"), StringObject("y")}) == 2
+
+
+class TestEditOperations:
+    def test_delete(self):
+        assert DeleteCharacter(1).apply("abc") == "ac"
+        with pytest.raises(ValueError):
+            DeleteCharacter(5).apply("abc")
+
+    def test_insert(self):
+        assert InsertCharacter(1, "x").apply("abc") == "axbc"
+        assert InsertCharacter(3, "x").apply("abc") == "abcx"
+        with pytest.raises(ValueError):
+            InsertCharacter(0, "xy")
+        with pytest.raises(ValueError):
+            InsertCharacter(9, "x").apply("abc")
+
+    def test_substitute(self):
+        assert SubstituteCharacter(0, "z").apply("abc") == "zbc"
+        with pytest.raises(ValueError):
+            SubstituteCharacter(3, "z").apply("abc")
+
+    def test_transpose(self):
+        assert TransposeAdjacent(1).apply("abcd") == "acbd"
+        with pytest.raises(ValueError):
+            TransposeAdjacent(3).apply("abcd")
+
+    def test_operations_accept_string_objects(self):
+        assert DeleteCharacter(0).apply(StringObject("abc")) == "bc"
+
+    def test_expander_generates_relevant_moves_only(self):
+        expander = TargetedEditExpander("ab")
+        moves = expander.expansions("a")
+        names = {move.name for move in moves}
+        assert "delete@0" in names
+        assert "insert@1:b" in names
+        assert all(":c" not in name for name in names)  # 'c' not in the target
+
+    def test_rule_set_contains_both_directions(self):
+        rules = edit_rule_set("ab", "ba")
+        assert "delete@0" in rules
+        assert "insert@0:a" in rules
+        assert len(rules) > 4
+
+
+class TestWeightedEditDistance:
+    def test_classic_cases(self):
+        assert weighted_edit_distance("kitten", "sitting") == 3.0
+        assert weighted_edit_distance("", "abc") == 3.0
+        assert weighted_edit_distance("abc", "") == 3.0
+        assert weighted_edit_distance("same", "same") == 0.0
+
+    def test_weighted_costs(self):
+        assert weighted_edit_distance("a", "b", substitute_cost=5.0,
+                                      insert_cost=1.0, delete_cost=1.0) == 2.0
+        assert weighted_edit_distance("a", "b", substitute_cost=1.5) == 1.5
+
+    def test_hamming(self):
+        assert hamming_distance("abc", "abd") == 1.0
+        assert hamming_distance("abc", "ab") == 1.0
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_metric_properties(self, a, b):
+        assert weighted_edit_distance(a, b) == weighted_edit_distance(b, a)
+        assert weighted_edit_distance(a, a) == 0.0
+        assert weighted_edit_distance(a, b) <= max(len(a), len(b))
+
+    @given(words, words, words)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert weighted_edit_distance(a, c) <= (weighted_edit_distance(a, b)
+                                                + weighted_edit_distance(b, c) + 1e-9)
+
+
+class TestFrameworkCrossCheck:
+    def test_equal_strings(self):
+        assert transformation_edit_distance("abc", "abc") == 0.0
+
+    @pytest.mark.parametrize("source,target", [
+        ("abc", "abd"), ("abc", "ab"), ("ab", "abc"), ("cat", "act"),
+        ("ab", "ba"), ("a", "bbb"),
+    ])
+    def test_matches_dynamic_program(self, source, target):
+        assert transformation_edit_distance(source, target) == pytest.approx(
+            weighted_edit_distance(source, target))
+
+    def test_matches_dp_with_custom_costs(self):
+        kwargs = {"insert_cost": 2.0, "delete_cost": 1.0, "substitute_cost": 1.5}
+        assert transformation_edit_distance("ab", "ca", **kwargs) == pytest.approx(
+            weighted_edit_distance("ab", "ca", **kwargs))
+
+    @given(st.text(alphabet="ab", min_size=0, max_size=3),
+           st.text(alphabet="ab", min_size=0, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_engine_equals_dp_on_tiny_strings(self, a, b):
+        assert transformation_edit_distance(a, b) == pytest.approx(
+            weighted_edit_distance(a, b))
+
+    def test_tight_cost_bound_can_make_strings_dissimilar(self):
+        distance = transformation_edit_distance("aaaa", "bbbb", cost_bound=2.0)
+        assert distance == float("inf") or distance > 2.0

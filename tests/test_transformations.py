@@ -1,0 +1,198 @@
+"""Tests for the transformation language (object-level and feature-space)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    DimensionMismatchError,
+    TransformationError,
+    UnsafeTransformationError,
+)
+from repro.core.objects import FeatureVector
+from repro.core.spaces import PolarSpace, RectangularSpace
+from repro.core.transformations import (
+    ComposedTransformation,
+    FunctionTransformation,
+    IdentityTransformation,
+    LinearTransformation,
+    RealLinearTransformation,
+)
+
+reals = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestObjectLevelTransformations:
+    def test_identity(self):
+        assert IdentityTransformation().apply("anything") == "anything"
+        assert IdentityTransformation().cost == 0.0
+
+    def test_function_transformation(self):
+        double = FunctionTransformation(lambda x: 2 * x, cost=1.5, name="double")
+        assert double.apply(4) == 8
+        assert double.cost == 1.5
+        assert double(3) == 6
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionTransformation(lambda x: x, cost=-1.0)
+
+    def test_composition_applies_in_order(self):
+        add = FunctionTransformation(lambda x: x + 1, cost=1.0, name="inc")
+        double = FunctionTransformation(lambda x: 2 * x, cost=2.0, name="double")
+        composed = add.then(double)
+        assert composed.apply(3) == 8  # (3 + 1) * 2
+        assert composed.cost == 3.0
+        assert len(composed) == 2
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(TransformationError):
+            ComposedTransformation([])
+
+
+class TestLinearTransformation:
+    def test_apply_to_complex_vector(self):
+        t = LinearTransformation([2.0, 1j], [0.0, 1.0])
+        result = t.apply([1 + 1j, 2.0])
+        assert np.allclose(result, [2 + 2j, 1 + 2j])
+
+    def test_identity_constructor(self):
+        t = LinearTransformation.identity(3, num_extra=2)
+        assert t.is_identity()
+        assert np.allclose(t.apply([1j, 2.0, 3.0]), [1j, 2.0, 3.0])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            LinearTransformation([1.0, 2.0], [0.0])
+        t = LinearTransformation([1.0, 2.0])
+        with pytest.raises(DimensionMismatchError):
+            t.apply([1.0])
+
+    def test_compose_matches_sequential_application(self):
+        first = LinearTransformation([2.0, 3.0], [1.0, -1.0], cost=1.0)
+        second = LinearTransformation([0.5, 1.0], [0.0, 2.0], cost=2.0)
+        composed = first.compose(second)
+        x = np.array([1 + 1j, 2 - 1j])
+        assert np.allclose(composed.apply(x), second.apply(first.apply(x)))
+        assert composed.cost == 3.0
+
+    def test_apply_point_roundtrip_rect(self):
+        space = RectangularSpace(2, 1)
+        t = LinearTransformation([2.0, -1.0], [1j, 3.0],
+                                 extra_multiplier=[2.0], extra_offset=[1.0])
+        point = space.encode([1 + 1j, 2 + 2j], [5.0])
+        image = t.apply_point(point, space)
+        extra, feats = space.decode(image)
+        assert np.allclose(extra, [11.0])
+        assert np.allclose(feats, [2 + 3j, 1 - 2j])
+
+    def test_safety_rules(self):
+        rect = RectangularSpace(2, 0)
+        polar = PolarSpace(2, 0)
+        real_multiplier = LinearTransformation([2.0, -3.0], [1 + 1j, 0.0])
+        complex_multiplier = LinearTransformation([1j, 2.0], [0.0, 0.0])
+        complex_both = LinearTransformation([1j, 2.0], [1.0, 0.0])
+        assert real_multiplier.is_safe_for(rect)
+        assert not real_multiplier.is_safe_for(polar)  # non-zero offset
+        assert not complex_multiplier.is_safe_for(rect)
+        assert complex_multiplier.is_safe_for(polar)
+        assert not complex_both.is_safe_for(rect)
+        assert not complex_both.is_safe_for(polar)
+
+    def test_to_real_rect_layout(self):
+        space = RectangularSpace(2, 1)
+        t = LinearTransformation([2.0, -1.0], [1 + 2j, 3.0],
+                                 extra_multiplier=[4.0], extra_offset=[5.0])
+        real = t.to_real(space)
+        assert np.allclose(real.scale, [4.0, 2.0, 2.0, -1.0, -1.0])
+        assert np.allclose(real.shift, [5.0, 1.0, 2.0, 3.0, 0.0])
+
+    def test_to_real_polar_layout(self):
+        space = PolarSpace(1, 0)
+        t = LinearTransformation([2j])
+        real = t.to_real(space)
+        assert np.allclose(real.scale, [2.0, 1.0])
+        assert np.allclose(real.shift, [0.0, np.pi / 2])
+
+    def test_to_real_unsafe_raises(self):
+        with pytest.raises(UnsafeTransformationError):
+            LinearTransformation([1j]).to_real(RectangularSpace(1, 0))
+        with pytest.raises(UnsafeTransformationError):
+            LinearTransformation([1.0], [1.0]).to_real(PolarSpace(1, 0))
+
+    def test_to_real_arity_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            LinearTransformation([1.0]).to_real(RectangularSpace(2, 0))
+
+    @given(st.lists(reals, min_size=1, max_size=4),
+           st.lists(reals, min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_real_multiplier_commutes_with_rect_encoding(self, multiplier, values):
+        """Applying (a, 0) to complex features then encoding equals encoding
+        then applying the lowered real map — the content of Theorem 2."""
+        size = min(len(multiplier), len(values))
+        multiplier, values = multiplier[:size], values[:size]
+        feats = np.array([v + (v / 2) * 1j for v in values])
+        space = RectangularSpace(size, 0)
+        t = LinearTransformation(multiplier)
+        direct = space.encode(t.apply(feats))
+        lowered = t.to_real(space).apply_point(space.encode(feats))
+        assert np.allclose(direct.values, lowered.values)
+
+
+class TestRealLinearTransformation:
+    def test_apply_point(self):
+        t = RealLinearTransformation([2.0, -1.0], [1.0, 0.0])
+        assert t.apply_point(FeatureVector([3.0, 4.0])) == FeatureVector([7.0, -4.0])
+
+    def test_apply_bounds_handles_negative_scale(self):
+        t = RealLinearTransformation([-1.0, 2.0], [0.0, 0.0])
+        low, high = t.apply_bounds(np.array([1.0, 1.0]), np.array([2.0, 3.0]))
+        assert np.allclose(low, [-2.0, 2.0])
+        assert np.allclose(high, [-1.0, 6.0])
+
+    def test_identity_and_is_identity(self):
+        assert RealLinearTransformation.identity(3).is_identity()
+        assert not RealLinearTransformation([2.0], [0.0]).is_identity()
+
+    def test_compose(self):
+        first = RealLinearTransformation([2.0], [1.0])
+        second = RealLinearTransformation([3.0], [-1.0])
+        composed = first.compose(second)
+        assert np.allclose(composed.apply([5.0]), second.apply(first.apply([5.0])))
+
+    def test_inverse(self):
+        t = RealLinearTransformation([2.0, -4.0], [1.0, 3.0])
+        inverse = t.inverse()
+        x = np.array([3.0, -7.0])
+        assert np.allclose(inverse.apply(t.apply(x)), x)
+
+    def test_inverse_of_singular_map_raises(self):
+        with pytest.raises(TransformationError):
+            RealLinearTransformation([0.0], [1.0]).inverse()
+
+    def test_dimension_checks(self):
+        with pytest.raises(DimensionMismatchError):
+            RealLinearTransformation([1.0], [1.0, 2.0])
+        with pytest.raises(DimensionMismatchError):
+            RealLinearTransformation([1.0]).apply([1.0, 2.0])
+
+    @given(st.lists(reals, min_size=1, max_size=5), st.lists(reals, min_size=1, max_size=5),
+           st.lists(reals, min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_rectangle_image_contains_point_images(self, scale, low, width):
+        size = min(len(scale), len(low), len(width))
+        scale = np.array(scale[:size])
+        low = np.array(low[:size])
+        high = low + np.abs(np.array(width[:size]))
+        t = RealLinearTransformation(scale, np.zeros(size))
+        image_low, image_high = t.apply_bounds(low, high)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            point = rng.uniform(low, high)
+            image = t.apply(point)
+            assert np.all(image >= image_low - 1e-9)
+            assert np.all(image <= image_high + 1e-9)

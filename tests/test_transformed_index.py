@@ -1,0 +1,148 @@
+"""Tests for searching an R-tree under an on-the-fly transformation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.transformations import RealLinearTransformation
+from repro.index.geometry import Rect
+from repro.index.rstar import RStarTree
+from repro.index.transformed import (
+    materialize_transformed_tree,
+    transformed_join,
+    transformed_nearest_neighbors,
+    transformed_nearest_neighbors_iter,
+    transformed_range_search,
+)
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    rng = np.random.default_rng(41)
+    return rng.uniform(-50, 50, size=(400, 3))
+
+
+@pytest.fixture(scope="module")
+def tree(points) -> RStarTree:
+    tree = RStarTree(3, max_entries=6)
+    for i, point in enumerate(points):
+        tree.insert(point, i)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def transformation() -> RealLinearTransformation:
+    # A mix of positive scale, negative scale and shifts.
+    return RealLinearTransformation([2.0, -0.5, 1.0], [10.0, 0.0, -3.0], name="mixed")
+
+
+def _brute_force(points: np.ndarray, window: Rect,
+                 transformation: RealLinearTransformation | None) -> set[int]:
+    result = set()
+    for i, point in enumerate(points):
+        image = transformation.apply(point) if transformation is not None else point
+        if np.all(image >= window.low) and np.all(image <= window.high):
+            result.add(i)
+    return result
+
+
+class TestTransformedRangeSearch:
+    def test_identity_equals_plain_search(self, tree, points):
+        window = Rect([-10.0, -10.0, -10.0], [10.0, 10.0, 10.0])
+        identity = RealLinearTransformation.identity(3)
+        assert set(transformed_range_search(tree, window, identity)) == set(tree.search(window))
+
+    def test_matches_brute_force_under_transformation(self, tree, points, transformation):
+        rng = np.random.default_rng(42)
+        for _ in range(15):
+            low = rng.uniform(-80, 60, size=3)
+            window = Rect(low, low + rng.uniform(5, 40, size=3))
+            got = set(transformed_range_search(tree, window, transformation))
+            assert got == _brute_force(points, window, transformation)
+
+    def test_none_transformation_is_plain_search(self, tree, points):
+        window = Rect([0.0, 0.0, 0.0], [25.0, 25.0, 25.0])
+        assert set(transformed_range_search(tree, window)) == \
+            _brute_force(points, window, None)
+
+    def test_custom_overlap_predicate(self, tree):
+        window = Rect([-1000.0] * 3, [1000.0] * 3)
+        nothing = transformed_range_search(tree, window, overlap=lambda a, b: False)
+        assert nothing == []
+
+
+class TestMaterializedTree:
+    def test_same_answers_as_lazy_search(self, tree, points, transformation):
+        clone = materialize_transformed_tree(tree, transformation)
+        rng = np.random.default_rng(43)
+        for _ in range(10):
+            low = rng.uniform(-80, 60, size=3)
+            window = Rect(low, low + rng.uniform(5, 40, size=3))
+            assert set(clone.search(window)) == \
+                set(transformed_range_search(tree, window, transformation))
+
+    def test_same_structure(self, tree, transformation):
+        clone = materialize_transformed_tree(tree, transformation)
+        assert clone.height() == tree.height()
+        assert len(list(clone.all_entries())) == len(list(tree.all_entries()))
+
+
+class TestTransformedNearestNeighbors:
+    def test_matches_brute_force(self, tree, points, transformation):
+        rng = np.random.default_rng(44)
+        for _ in range(8):
+            query = rng.uniform(-60, 60, size=3)
+            got = [record for _, record in
+                   transformed_nearest_neighbors(tree, query, k=4,
+                                                 transformation=transformation)]
+            want = [i for _, i in sorted(
+                (np.linalg.norm(transformation.apply(points[i]) - query), i)
+                for i in range(len(points)))[:4]]
+            assert got == want
+
+    def test_iterator_yields_nondecreasing_bounds(self, tree, transformation):
+        query = np.zeros(3)
+        iterator = transformed_nearest_neighbors_iter(tree, query,
+                                                      transformation=transformation)
+        bounds = [bound for bound, _ in (next(iterator) for _ in range(50))]
+        assert all(bounds[i] <= bounds[i + 1] + 1e-9 for i in range(len(bounds) - 1))
+
+    def test_k_validation(self, tree):
+        with pytest.raises(ValueError):
+            transformed_nearest_neighbors(tree, np.zeros(3), k=0)
+
+
+class TestTransformedJoin:
+    def test_self_join_matches_brute_force(self, points):
+        small = points[:120]
+        tree = RStarTree(3, max_entries=6)
+        for i, point in enumerate(small):
+            tree.insert(point, i)
+        expand = 3.0
+        pairs = transformed_join(tree, tree, expand=expand)
+        got = {(a, b) for a, b in pairs if a != b}
+        want = set()
+        for i in range(len(small)):
+            for j in range(len(small)):
+                if i != j and np.all(np.abs(small[i] - small[j]) <= 2 * expand):
+                    want.add((i, j))
+        assert got == want
+
+    def test_join_under_transformation(self, points):
+        left_points = points[:80]
+        right_points = points[80:160]
+        left = RStarTree(3, max_entries=6)
+        right = RStarTree(3, max_entries=6)
+        for i, point in enumerate(left_points):
+            left.insert(point, ("L", i))
+        for i, point in enumerate(right_points):
+            right.insert(point, ("R", i))
+        flip = RealLinearTransformation([-1.0, 1.0, 1.0], [0.0, 0.0, 0.0], name="flip-x")
+        pairs = transformed_join(left, right, left_transformation=flip, expand=2.0)
+        want = set()
+        for i in range(len(left_points)):
+            for j in range(len(right_points)):
+                if np.all(np.abs(flip.apply(left_points[i]) - right_points[j]) <= 4.0):
+                    want.add((("L", i), ("R", j)))
+        assert set(pairs) == want

@@ -1,0 +1,225 @@
+"""Tests for time-series transformations (time domain and frequency domain)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spaces import PolarSpace, RectangularSpace
+from repro.timeseries import dft as dft_module
+from repro.timeseries.normalform import normalize
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.transforms import (
+    MovingAverageTransform,
+    NormalizeTransform,
+    ReverseTransform,
+    ScaleTransform,
+    ShiftTransform,
+    TimeWarpTransform,
+    identity_spectral,
+    moving_average_kernel,
+    moving_average_spectral,
+    moving_average_values,
+    reverse_spectral,
+    scale_spectral,
+    shift_spectral,
+    time_warp_linear,
+    time_warp_multiplier,
+    time_warp_values,
+)
+
+series_values = st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                         min_size=4, max_size=64)
+
+
+class TestMovingAverage:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            moving_average_kernel(10, 0)
+        with pytest.raises(ValueError):
+            moving_average_kernel(10, 11)
+        with pytest.raises(ValueError):
+            moving_average_kernel(10, 3, weights=[0.5, 0.5])
+
+    def test_uniform_kernel_sums_to_one(self):
+        kernel = moving_average_kernel(10, 4)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert np.count_nonzero(kernel) == 4
+
+    def test_window_one_is_identity(self):
+        values = np.array([5.0, 1.0, 3.0])
+        assert np.allclose(moving_average_values(values, 1), values)
+
+    def test_matches_direct_circular_definition(self):
+        rng = np.random.default_rng(61)
+        values = rng.uniform(10, 50, size=20)
+        window = 5
+        direct = np.array([np.mean([values[(i - j) % 20] for j in range(window)])
+                           for i in range(20)])
+        assert np.allclose(moving_average_values(values, window), direct)
+
+    def test_weighted_average(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        weights = [0.5, 0.25, 0.25]
+        result = moving_average_values(values, 3, weights)
+        expected_day3 = 0.5 * 4 + 0.25 * 3 + 0.25 * 2
+        assert result[3] == pytest.approx(expected_day3)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(62)
+        noisy = TimeSeries(50 + rng.normal(0, 5, size=128))
+        smoothed = MovingAverageTransform(10).apply(noisy)
+        assert smoothed.std() < noisy.std()
+
+    def test_object_transform_preserves_length_and_mean(self):
+        rng = np.random.default_rng(63)
+        series = TimeSeries(rng.uniform(10, 20, size=32))
+        smoothed = MovingAverageTransform(7).apply(series)
+        assert len(smoothed) == len(series)
+        assert smoothed.mean() == pytest.approx(series.mean())
+
+    @given(series_values, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40)
+    def test_spectral_equals_time_domain(self, values, window):
+        values = np.array(values)
+        window = min(window, values.shape[0])
+        series = TimeSeries(values)
+        spectral = moving_average_spectral(values.shape[0], window)
+        assert np.allclose(spectral.apply(series).values,
+                           moving_average_values(values, window), atol=1e-6)
+
+
+class TestReverseShiftScale:
+    def test_reverse_object_and_spectral_agree(self):
+        series = TimeSeries([1.0, -2.0, 3.0, 4.0])
+        assert np.allclose(ReverseTransform().apply(series).values,
+                           reverse_spectral(4).apply(series).values)
+
+    def test_shift_spectral_matches_time_domain(self):
+        series = TimeSeries([1.0, 2.0, 3.0, 4.0])
+        shifted = shift_spectral(4, 2.5).apply(series)
+        assert np.allclose(shifted.values, series.values + 2.5)
+
+    def test_scale_spectral_matches_time_domain(self):
+        series = TimeSeries([1.0, 2.0, 3.0, 4.0])
+        scaled = scale_spectral(4, -3.0).apply(series)
+        assert np.allclose(scaled.values, series.values * -3.0)
+
+    def test_shift_transform_objects(self):
+        series = TimeSeries([1.0, 2.0])
+        assert list(ShiftTransform(1.5).apply(series)) == [2.5, 3.5]
+        assert list(ScaleTransform(2.0).apply(series)) == [2.0, 4.0]
+
+    def test_normalize_transform(self):
+        series = TimeSeries([2.0, 4.0, 6.0])
+        assert np.allclose(NormalizeTransform().apply(series).values,
+                           normalize(series).series.values)
+
+    def test_extra_dimension_effects(self):
+        assert tuple(reverse_spectral(8).extra_multiplier) == (-1.0, 1.0)
+        assert tuple(shift_spectral(8, 3.0).extra_offset) == (3.0, 0.0)
+        assert tuple(scale_spectral(8, -2.0).extra_multiplier) == (-2.0, 2.0)
+
+    def test_identity_spectral_is_noop(self):
+        series = TimeSeries(np.arange(16.0))
+        assert np.allclose(identity_spectral(16).apply(series).values, series.values)
+
+
+class TestSpectralTransformationAlgebra:
+    def test_composition_order(self):
+        length = 16
+        reverse = reverse_spectral(length)
+        smooth = moving_average_spectral(length, 4)
+        composed = reverse.compose(smooth)
+        series = TimeSeries(np.random.default_rng(64).uniform(0, 10, length))
+        assert np.allclose(composed.apply(series).values,
+                           smooth.apply(reverse.apply(series)).values, atol=1e-9)
+
+    def test_power(self):
+        length = 32
+        smooth = moving_average_spectral(length, 5)
+        twice = smooth.power(2)
+        series = TimeSeries(np.random.default_rng(65).uniform(0, 10, length))
+        assert np.allclose(twice.apply(series).values,
+                           smooth.apply(smooth.apply(series)).values, atol=1e-9)
+        with pytest.raises(ValueError):
+            smooth.power(0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            moving_average_spectral(8, 3).apply(TimeSeries(np.arange(16.0)))
+        with pytest.raises(ValueError):
+            moving_average_spectral(8, 3).compose(moving_average_spectral(16, 3))
+
+    def test_to_linear_safety(self):
+        smooth = moving_average_spectral(32, 5)
+        linear = smooth.to_linear(3)
+        assert linear.num_features == 3
+        assert linear.num_extra == 2
+        assert linear.is_safe_for(PolarSpace(3, 2))
+        assert not linear.is_safe_for(RectangularSpace(3, 2))
+        without_extra = smooth.to_linear(3, include_extra=False)
+        assert without_extra.num_extra == 0
+
+    def test_to_linear_bounds_check(self):
+        with pytest.raises(ValueError):
+            moving_average_spectral(8, 3).to_linear(8, skip_first=True)
+
+    def test_moving_average_multiplier_matches_indexed_coefficients(self):
+        """Multiplying the stored normal-form coefficients by the transformation's
+        prefix equals extracting coefficients from the smoothed normal form."""
+        rng = np.random.default_rng(66)
+        series = TimeSeries(rng.uniform(5, 25, size=64))
+        smooth = moving_average_spectral(64, 10)
+        normal = normalize(series).series
+        direct = dft_module.dft(smooth.apply(normal).values)[1:4]
+        via_multiplier = smooth.multiplier[1:4] * dft_module.dft(normal.values)[1:4]
+        assert np.allclose(direct, via_multiplier, atol=1e-9)
+
+
+class TestTimeWarping:
+    def test_warp_values(self):
+        assert list(time_warp_values(np.array([1.0, 2.0]), 3)) == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        with pytest.raises(ValueError):
+            time_warp_values(np.array([1.0]), 0)
+
+    def test_warp_transform_object(self):
+        series = TimeSeries([20.0, 21.0, 20.0, 23.0])
+        warped = TimeWarpTransform(2).apply(series)
+        assert list(warped) == [20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]
+
+    def test_example_1_2_sequences_match_after_warping(self):
+        short = TimeSeries([20.0, 21.0, 20.0, 23.0])
+        long = TimeSeries([20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0])
+        assert np.allclose(TimeWarpTransform(2).apply(short).values, long.values)
+
+    @given(series_values, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40)
+    def test_multiplier_matches_direct_warping(self, values, factor, k):
+        """The Appendix A multiplier maps the first k coefficients of a series
+        to the first k coefficients of its warped version."""
+        values = np.array(values)
+        k = min(k, values.shape[0])
+        original = dft_module.dft(values)[:k]
+        warped = dft_module.dft(time_warp_values(values, factor))[:k]
+        multiplier = time_warp_multiplier(values.shape[0], factor, k)
+        assert np.allclose(multiplier * original, warped, atol=1e-6)
+
+    def test_multiplier_validation(self):
+        with pytest.raises(ValueError):
+            time_warp_multiplier(8, 0, 2)
+        with pytest.raises(ValueError):
+            time_warp_multiplier(8, 2, 9)
+
+    def test_time_warp_linear_factory(self):
+        linear = time_warp_linear(64, 2, 3)
+        assert linear.num_features == 3
+        assert linear.num_extra == 2
+        assert linear.is_safe_for(PolarSpace(3, 2))
+
+    def test_factor_one_is_identity(self):
+        multiplier = time_warp_multiplier(16, 1, 5)
+        assert np.allclose(multiplier, 1.0)
