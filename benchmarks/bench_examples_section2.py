@@ -13,7 +13,7 @@ import pytest
 from repro.bench.experiments import section2_distance_trajectories
 from repro.timeseries.normalform import normalize
 from repro.timeseries.stockdata import bba_ztr_like_pair
-from repro.timeseries.transforms import moving_average_spectral, reverse_spectral
+from repro.timeseries.transforms import reverse_spectral
 
 
 @pytest.fixture(scope="module")

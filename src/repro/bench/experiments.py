@@ -23,11 +23,9 @@ from typing import Any, Callable
 
 import numpy as np
 
-from ..index.kindex import KIndex
 from ..index.rstar import RStarTree
 from ..index.rtree import RTree
 from ..strings.distance import transformation_edit_distance, weighted_edit_distance
-from ..timeseries.features import SeriesFeatureExtractor
 from ..timeseries.generators import make_rng
 from ..timeseries.normalform import normalize
 from ..timeseries.stockdata import StockArchiveConfig, bba_ztr_like_pair, make_stock_archive

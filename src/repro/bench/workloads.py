@@ -51,11 +51,14 @@ def pick_queries(data: list[TimeSeries], count: int, seed: int = 97) -> list[Tim
 
 def _build(name: str, data: list[TimeSeries], *, num_coefficients: int,
            representation: str, tree_kind: str, num_queries: int,
-           query_seed: int) -> Workload:
+           query_seed: int, bulk_load: bool = False) -> Workload:
     extractor = SeriesFeatureExtractor(num_coefficients=num_coefficients,
                                        representation=representation)
-    index = KIndex(extractor, tree_kind=tree_kind)
-    index.extend(data)
+    if bulk_load:
+        index = KIndex.bulk_load(data, extractor, tree_kind=tree_kind)
+    else:
+        index = KIndex(extractor, tree_kind=tree_kind)
+        index.extend(data)
     scan = SequentialScan(extractor)
     scan.extend(data)
     return Workload(name=name, data=data, index=index, scan=scan, extractor=extractor,
@@ -65,12 +68,17 @@ def _build(name: str, data: list[TimeSeries], *, num_coefficients: int,
 def synthetic_workload(num_series: int, length: int, *, seed: int = 11,
                        num_coefficients: int = 2, representation: str = "polar",
                        tree_kind: str = "rstar", num_queries: int = 10,
-                       query_seed: int = 97) -> Workload:
-    """Random-walk sequences following the evaluation's generation recipe."""
+                       query_seed: int = 97, bulk_load: bool = False) -> Workload:
+    """Random-walk sequences following the evaluation's generation recipe.
+
+    ``bulk_load=True`` builds the index with the Sort-Tile-Recursive loader
+    instead of one-at-a-time insertion (identical answers, packed tree).
+    """
     data = random_walk_collection(num_series, length, seed=seed)
     return _build(f"synthetic-{num_series}x{length}", data,
                   num_coefficients=num_coefficients, representation=representation,
-                  tree_kind=tree_kind, num_queries=num_queries, query_seed=query_seed)
+                  tree_kind=tree_kind, num_queries=num_queries, query_seed=query_seed,
+                  bulk_load=bulk_load)
 
 
 def stock_workload(config: StockArchiveConfig | None = None, *,

@@ -46,6 +46,9 @@ class Relation:
 
     def __init__(self, name: str, rows: Iterable[Row | DataObject] = ()) -> None:
         self.name = name
+        #: Monotonic mutation counter; query caches key on it so that any
+        #: change to the relation's contents invalidates cached plans/answers.
+        self.version = 0
         self._rows: list[Row] = []
         self._by_id: dict[int, int] = {}
         for row in rows:
@@ -67,6 +70,7 @@ class Relation:
             )
         self._by_id[row.obj.object_id] = len(self._rows)
         self._rows.append(row)
+        self.version += 1
         return row
 
     def extend(self, objects: Iterable[Row | DataObject]) -> None:
@@ -123,6 +127,7 @@ class Database:
         self.name = name
         self._relations: dict[str, Relation] = {}
         self._indexes: dict[tuple[str, str], Any] = {}
+        self._catalog_version = 0
 
     # ------------------------------------------------------------------
     # relations
@@ -134,6 +139,7 @@ class Database:
             raise CatalogError(f"relation {name!r} already exists")
         relation = Relation(name, objects)
         self._relations[name] = relation
+        self._catalog_version += 1
         return relation
 
     def relation(self, name: str) -> Relation:
@@ -151,6 +157,7 @@ class Database:
         del self._relations[name]
         for key in [key for key in self._indexes if key[0] == name]:
             del self._indexes[key]
+        self._catalog_version += 1
 
     def relations(self) -> list[str]:
         """Names of all registered relations."""
@@ -168,6 +175,7 @@ class Database:
         if relation_name not in self._relations:
             raise CatalogError(f"unknown relation {relation_name!r}")
         self._indexes[(relation_name, index_name)] = index
+        self._catalog_version += 1
 
     def index(self, relation_name: str, index_name: str = "default") -> Any:
         """Retrieve a registered index."""
@@ -177,6 +185,22 @@ class Database:
             raise CatalogError(
                 f"no index {index_name!r} registered for relation {relation_name!r}"
             ) from None
+
+    def state_token(self, relation_name: str) -> tuple:
+        """A hashable token that changes whenever query answers over the
+        relation could change: catalog shape, relation contents, or the size
+        of any index registered on the relation.
+
+        Query caches embed the token in their keys, so mutation invalidates
+        cached entries without any explicit flushing.
+        """
+        relation = self.relation(relation_name)
+        index_sizes = tuple(
+            (key[1], len(index) if hasattr(index, "__len__") else -1)
+            for key, index in sorted(self._indexes.items(), key=lambda item: item[0])
+            if key[0] == relation_name
+        )
+        return (self._catalog_version, relation.version, index_sizes)
 
     def has_index(self, relation_name: str, index_name: str = "default") -> bool:
         """Whether an index is registered for the relation."""

@@ -1,6 +1,7 @@
-"""The similarity query language: AST, parser, planner and executor."""
+"""The similarity query language: AST, parser, planner, executor and caches."""
 
 from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .cache import CacheStats, LRUCache
 from .executor import QueryEngine, QueryOutcome
 from .parser import parse, tokenize
 from .planner import Plan, Planner, explain
@@ -8,5 +9,5 @@ from .planner import Plan, Planner, explain
 __all__ = [
     "Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
     "QueryEngine", "QueryOutcome", "parse", "tokenize",
-    "Plan", "Planner", "explain",
+    "Plan", "Planner", "explain", "CacheStats", "LRUCache",
 ]

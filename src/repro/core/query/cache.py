@@ -1,0 +1,98 @@
+"""Query-result memoisation: a small LRU cache with hit/miss accounting.
+
+Two caches built on this live in the :class:`~repro.core.query.executor.QueryEngine`:
+
+* the **plan cache**, keyed on the normalised query AST (parsing already
+  normalises the textual surface syntax), the transformation name and the
+  relation's version token — so catalog or data changes simply miss;
+* the **answer cache**, keyed on the AST, a fingerprint of the bound query
+  parameters and the same version token — repeated parameterised queries
+  skip execution entirely until the relation (or an index on it) mutates.
+
+Version tokens come from :meth:`~repro.core.database.Database.state_token`;
+because the token participates in the key, *invalidation on mutation* falls
+out of the keying scheme and stale entries age out of the LRU order rather
+than needing an explicit flush.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class LRUCache:
+    """A least-recently-used mapping with a fixed capacity.
+
+    A capacity of zero disables the cache: every ``get`` misses and ``put``
+    is a no-op, which callers use to switch caching off without branching.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._items: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (refreshing its recency), or ``default``."""
+        try:
+            value = self._items[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._items.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store a value, evicting the least recently used entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._items:
+            self._items.move_to_end(key)
+        self._items[key] = value
+        if len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._items.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(capacity={self.capacity}, size={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

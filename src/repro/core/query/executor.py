@@ -8,25 +8,33 @@ The :class:`QueryEngine` ties the pieces together:
   clauses),
 * query objects are bound by name at execution time (``$param``).
 
-``execute`` accepts either query text (parsed on the fly) or an already
-constructed AST node, plans it, runs the plan and returns a
-:class:`QueryOutcome` carrying the answers, the chosen plan and the work
-counters — which is what the benchmark harness records.
+Queries enter the engine through :meth:`QueryEngine.execute_many`: a batch is
+parsed, planned (through an LRU **plan cache** keyed on the normalised AST),
+probed against the **answer cache** (keyed on the AST, the bound parameters
+and the relation's version token, so any :class:`Database` mutation
+invalidates it), and the remaining misses are grouped by relation and plan
+shape.  Groups of index range queries run as one shared, vectorised R-tree
+traversal (:meth:`KIndex.range_query_batch`); everything else runs through
+the per-query interpreters.  ``execute`` is a thin wrapper over the batch
+path.  Each query yields a :class:`QueryOutcome` carrying the answers, the
+chosen plan and the work counters — which is what the benchmark harness
+records.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
 
 from ...index.kindex import KIndex, QueryStatistics
 from ...index.scan import SequentialScan
 from ...timeseries.series import TimeSeries
 from ...timeseries.transforms import SpectralTransformation
-from ..database import Database
+from ..database import Database, Relation
 from ..errors import QueryPlanningError
 from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .cache import LRUCache
 from .parser import parse
 from .planner import (
     IndexJoinPlan,
@@ -35,7 +43,6 @@ from .planner import (
     Plan,
     Planner,
     ScanJoinPlan,
-    ScanNearestPlan,
     ScanRangePlan,
 )
 
@@ -50,6 +57,9 @@ class QueryOutcome:
     answers: list[Any] = field(default_factory=list)
     statistics: QueryStatistics = field(default_factory=QueryStatistics)
     elapsed_seconds: float = 0.0
+    #: Whether the answers were served from the engine's answer cache
+    #: without touching the index or the relation.
+    from_cache: bool = False
 
     def __len__(self) -> int:
         return len(self.answers)
@@ -66,23 +76,36 @@ class QueryEngine:
     transformations:
         Mapping from transformation names (as used in ``USING`` clauses) to
         :class:`SpectralTransformation` objects.
+    plan_cache_size:
+        Capacity of the LRU plan cache (0 disables plan caching).
+    answer_cache_size:
+        Capacity of the LRU answer cache (0 disables answer caching).
     """
 
     def __init__(self, database: Database,
-                 transformations: Mapping[str, SpectralTransformation] | None = None
-                 ) -> None:
+                 transformations: Mapping[str, SpectralTransformation] | None = None,
+                 *, plan_cache_size: int = 256,
+                 answer_cache_size: int = 1024) -> None:
         self.database = database
         self.planner = Planner(database)
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.answer_cache = LRUCache(answer_cache_size)
         self._transformations: dict[str, SpectralTransformation] = dict(transformations or {})
-        self._scans: dict[str, SequentialScan] = {}
+        self._scans: dict[str, tuple[Relation, int, SequentialScan]] = {}
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def register_transformation(self, name: str,
                                 transformation: SpectralTransformation) -> None:
-        """Make a transformation available to ``USING <name>`` clauses."""
+        """Make a transformation available to ``USING <name>`` clauses.
+
+        Cached plans and answers key on transformation *names*, so
+        (re)binding a name drops both caches — otherwise a re-registered
+        name could serve answers computed under the old transformation.
+        """
         self._transformations[name] = transformation
+        self.clear_caches()
 
     def transformation(self, name: str | None) -> SpectralTransformation | None:
         """Resolve a transformation name (``None`` stays ``None``)."""
@@ -95,20 +118,160 @@ class QueryEngine:
             raise QueryPlanningError(
                 f"unknown transformation {name!r}; registered: {known}") from None
 
+    def clear_caches(self) -> None:
+        """Drop every cached plan and answer (for benchmarks and tests)."""
+        self.plan_cache.clear()
+        self.answer_cache.clear()
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(self, query: str | Query,
                 parameters: Mapping[str, TimeSeries] | None = None) -> QueryOutcome:
-        """Parse (if needed), plan and run a query."""
-        node = parse(query) if isinstance(query, str) else query
-        parameters = dict(parameters or {})
-        transformation = self.transformation(node.transformation)
-        plan = self.planner.plan(node, transformation=transformation)
+        """Parse (if needed), plan and run one query.
+
+        A thin wrapper over :meth:`execute_many` with a single-element batch.
+        """
+        return self.execute_many([query], parameters=[parameters])[0]
+
+    def execute_many(self, queries: Sequence[str | Query],
+                     parameters: Sequence[Mapping[str, TimeSeries] | None]
+                     | Mapping[str, TimeSeries] | None = None
+                     ) -> list[QueryOutcome]:
+        """Plan and run a batch of queries, returning one outcome per query.
+
+        ``parameters`` may be a single mapping shared by every query or a
+        sequence with one mapping (or ``None``) per query.
+
+        Queries are planned individually (through the plan cache) and probed
+        against the answer cache; the remaining index range queries are
+        grouped by (relation, index, transformation) and each group runs as
+        one shared vectorised traversal, so a node serving several queries
+        is read once.  Answers are identical to looping over
+        :meth:`execute`; per-query ``elapsed_seconds`` of batched queries is
+        the group's wall time divided evenly across its members.
+        """
+        nodes = [parse(query) if isinstance(query, str) else query
+                 for query in queries]
+        bindings = self._normalize_bindings(parameters, len(nodes))
+        outcomes: list[QueryOutcome | None] = [None] * len(nodes)
+        plans: list[Plan | None] = [None] * len(nodes)
+        answer_keys: list[tuple | None] = [None] * len(nodes)
+        groups: dict[tuple | None, list[int]] = {}
+        for index, (node, binding) in enumerate(zip(nodes, bindings)):
+            lookup_started = time.perf_counter()
+            transformation = self.transformation(node.transformation)
+            plan = self._plan_cached(node, transformation)
+            plans[index] = plan
+            key = self._answer_cache_key(node, binding)
+            answer_keys[index] = key
+            if key is not None:
+                cached = self.answer_cache.get(key)
+                if cached is not None:
+                    cached_plan, cached_answers, cached_statistics = cached
+                    outcomes[index] = QueryOutcome(
+                        plan=cached_plan, answers=list(cached_answers),
+                        statistics=replace(cached_statistics),
+                        elapsed_seconds=time.perf_counter() - lookup_started,
+                        from_cache=True)
+                    continue
+            groups.setdefault(self._group_key(node, plan), []).append(index)
+        for group_key, members in groups.items():
+            if group_key is not None:
+                self._run_index_range_group(members, nodes, bindings, plans,
+                                            outcomes)
+            else:
+                for index in members:
+                    started = time.perf_counter()
+                    outcome = self._run(plans[index], nodes[index],
+                                        self.transformation(nodes[index].transformation),
+                                        bindings[index])
+                    outcome.elapsed_seconds = time.perf_counter() - started
+                    outcomes[index] = outcome
+        for index, outcome in enumerate(outcomes):
+            if not outcome.from_cache and answer_keys[index] is not None:
+                self.answer_cache.put(
+                    answer_keys[index],
+                    (outcome.plan, list(outcome.answers),
+                     replace(outcome.statistics)))
+        return outcomes
+
+    @staticmethod
+    def _normalize_bindings(parameters, count: int
+                            ) -> list[Mapping[str, TimeSeries]]:
+        if parameters is None:
+            return [{} for _ in range(count)]
+        if isinstance(parameters, Mapping):
+            return [parameters] * count
+        bindings = [dict(binding or {}) for binding in parameters]
+        if len(bindings) != count:
+            raise QueryPlanningError(
+                f"{count} queries but {len(bindings)} parameter bindings")
+        return bindings
+
+    # -- planning & caching ----------------------------------------------
+    def _plan_cached(self, node: Query,
+                     transformation: SpectralTransformation | None) -> Plan:
+        if node.relation not in self.database:
+            # Let the planner raise its usual error for unknown relations.
+            return self.planner.plan(node, transformation=transformation)
+        token = self.database.state_token(node.relation)
+        key = (node, node.transformation, token)
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = self.planner.plan(node, transformation=transformation)
+            self.plan_cache.put(key, plan)
+        return plan
+
+    def _answer_cache_key(self, node: Query,
+                          binding: Mapping[str, TimeSeries]) -> tuple | None:
+        """Cache key for a query's answers, or ``None`` when not cacheable.
+
+        The key combines the normalised AST, a byte-level fingerprint of the
+        bound parameter the query references, and the relation's version
+        token — so both rebinding and database mutation miss naturally.
+        """
+        if node.relation not in self.database:
+            return None
+        if isinstance(node, (RangeQuery, NearestNeighborQuery)):
+            parameter = binding.get(node.parameter)
+            values = getattr(parameter, "values", None)
+            if values is None:
+                return None
+            fingerprint = (node.parameter, values.tobytes())
+        else:
+            fingerprint = ()
+        return (node, fingerprint, self.database.state_token(node.relation))
+
+    @staticmethod
+    def _group_key(node: Query, plan: Plan) -> tuple | None:
+        """Batch-compatibility key; ``None`` means "run individually"."""
+        if isinstance(plan, IndexRangePlan) and isinstance(node, RangeQuery):
+            return (node.relation, plan.index_name, node.transformation,
+                    node.transform_query)
+        return None
+
+    def _run_index_range_group(self, members: list[int], nodes: list[Query],
+                               bindings: list[Mapping[str, TimeSeries]],
+                               plans: list[Plan | None],
+                               outcomes: list[QueryOutcome | None]) -> None:
+        """Run a group of compatible index range queries as one batch."""
         started = time.perf_counter()
-        outcome = self._run(plan, node, transformation, parameters)
-        outcome.elapsed_seconds = time.perf_counter() - started
-        return outcome
+        first = nodes[members[0]]
+        plan = plans[members[0]]
+        index = self.database.index(first.relation, plan.index_name)
+        transformation = self.transformation(first.transformation)
+        series = [self._parameter(nodes[i].parameter, bindings[i]) for i in members]
+        epsilons = [nodes[i].epsilon for i in members]
+        results = index.range_query_batch(series, epsilons,
+                                          transformation=transformation,
+                                          transform_query=first.transform_query)
+        share = (time.perf_counter() - started) / len(members)
+        for member, result in zip(members, results):
+            outcomes[member] = QueryOutcome(plan=plans[member],
+                                            answers=result.answers,
+                                            statistics=result.statistics,
+                                            elapsed_seconds=share)
 
     def _run(self, plan: Plan, node: Query,
              transformation: SpectralTransformation | None,
@@ -144,11 +307,17 @@ class QueryEngine:
 
     # -- scan plans ------------------------------------------------------
     def _scan_for(self, relation_name: str) -> SequentialScan:
-        if relation_name not in self._scans:
-            scan = SequentialScan()
-            scan.extend(self.database.relation(relation_name))
-            self._scans[relation_name] = scan
-        return self._scans[relation_name]
+        relation = self.database.relation(relation_name)
+        cached = self._scans.get(relation_name)
+        # Compare the relation object itself, not just its version: dropping
+        # and recreating a relation under the same name yields a fresh object
+        # whose version can collide with the cached one.
+        if cached is not None and cached[0] is relation and cached[1] == relation.version:
+            return cached[2]
+        scan = SequentialScan()
+        scan.extend(relation)
+        self._scans[relation_name] = (relation, relation.version, scan)
+        return scan
 
     def _run_with_scan(self, plan: Plan, node: Query,
                        transformation: SpectralTransformation | None,

@@ -112,6 +112,15 @@ class FeatureSpace:
         d2 += float(np.sum((extra_a - extra_b) ** 2))
         return math.sqrt(d2)
 
+    def periodic_dimension_mask(self) -> np.ndarray:
+        """Boolean mask over coordinates that wrap around (modulo ``2*pi``).
+
+        The rectangular layout has none; the polar layout marks its phase
+        angles.  Batched R-tree probes use this to pick the right per-
+        dimension overlap test.
+        """
+        return np.zeros(self.dimension, dtype=bool)
+
     def _check_point(self, point: FeatureVector) -> None:
         if point.dimension != self.dimension:
             raise DimensionMismatchError(
@@ -279,6 +288,12 @@ class PolarSpace(FeatureSpace):
                                  low[ang_dim], high[ang_dim])
             total += d ** 2
         return math.sqrt(total)
+
+    def periodic_dimension_mask(self) -> np.ndarray:
+        """Phase-angle coordinates wrap around; magnitudes and extras do not."""
+        mask = np.zeros(self.dimension, dtype=bool)
+        mask[self.num_extra + 1::2] = True
+        return mask
 
     @staticmethod
     def normalize_angle(angle: float) -> float:

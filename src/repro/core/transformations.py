@@ -28,7 +28,7 @@ the transformation with no false dismissals.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Sequence
 from typing import Any
 
 import numpy as np

@@ -1,6 +1,6 @@
 """Spatial indexing: R-tree family, the k-index, transformed search and scans."""
 
-from .geometry import Rect, mindist, minmaxdist
+from .geometry import Rect, mindist, mindist_batch, minmaxdist, overlap_matrix
 from .kindex import KIndex, NearestNeighborResult, QueryStatistics, RangeQueryResult
 from .rstar import RStarTree
 from .rtree import NodeAccessStats, RTree, RTreeEntry, RTreeNode
@@ -14,7 +14,7 @@ from .transformed import (
 )
 
 __all__ = [
-    "Rect", "mindist", "minmaxdist",
+    "Rect", "mindist", "minmaxdist", "mindist_batch", "overlap_matrix",
     "KIndex", "RangeQueryResult", "NearestNeighborResult", "QueryStatistics",
     "RStarTree", "RTree", "RTreeEntry", "RTreeNode", "NodeAccessStats",
     "SequentialScan",

@@ -15,7 +15,9 @@ import numpy as np
 
 from ..core.errors import DimensionMismatchError
 
-__all__ = ["Rect", "mindist", "minmaxdist"]
+__all__ = ["Rect", "mindist", "minmaxdist", "mindist_batch", "overlap_matrix"]
+
+TWO_PI = 2.0 * math.pi
 
 
 class Rect:
@@ -206,3 +208,73 @@ def minmaxdist(point: Sequence[float] | np.ndarray, rect: Rect) -> float:
         value = total_far - (p[k] - rM[k]) ** 2 + (p[k] - rm[k]) ** 2
         best = min(best, float(value))
     return math.sqrt(max(0.0, best))
+
+
+# ----------------------------------------------------------------------
+# batched kernels (whole-node / whole-batch tests in one numpy call)
+# ----------------------------------------------------------------------
+def mindist_batch(point: Sequence[float] | np.ndarray, lows: np.ndarray,
+                  highs: np.ndarray) -> np.ndarray:
+    """MINDIST from one point to many rectangles at once.
+
+    ``lows`` and ``highs`` are ``(n, d)`` arrays of rectangle corners; the
+    result is the ``(n,)`` array of Euclidean distances, matching
+    :func:`mindist` applied row by row.
+    """
+    p = np.asarray(point, dtype=np.float64).reshape(-1)
+    if lows.ndim != 2 or lows.shape != highs.shape:
+        raise DimensionMismatchError(
+            f"expected matching (n, d) corner arrays, got {lows.shape} and {highs.shape}"
+        )
+    if p.shape[0] != lows.shape[1]:
+        raise DimensionMismatchError(
+            f"point of dimension {p.shape[0]} vs rectangles of dimension {lows.shape[1]}"
+        )
+    clamped = np.clip(p, lows, highs)
+    delta = p - clamped
+    return np.sqrt(np.sum(delta * delta, axis=1))
+
+
+def overlap_matrix(lows: np.ndarray, highs: np.ndarray,
+                   window_lows: np.ndarray, window_highs: np.ndarray,
+                   periodic_dims: np.ndarray | None = None) -> np.ndarray:
+    """Rectangle-overlap tests for every (entry, window) pair in one shot.
+
+    ``lows``/``highs`` describe ``n`` entry rectangles as ``(n, d)`` arrays;
+    ``window_lows``/``window_highs`` describe ``q`` query windows as
+    ``(q, d)`` arrays.  The result is an ``(n, q)`` boolean matrix whose
+    ``[i, j]`` element says whether entry ``i`` intersects window ``j``.
+
+    ``periodic_dims`` is an optional ``(d,)`` boolean mask marking wrap-around
+    dimensions (the polar representation's phase angles); those dimensions use
+    the modulo-``2*pi`` interval test instead of the plain one.  Two angular
+    intervals overlap modulo ``2*pi`` exactly when the circular distance of
+    their centres is at most the sum of their half-widths (intervals at least
+    ``2*pi`` wide overlap everything), which evaluates as one fused kernel
+    over all periodic dimensions — equivalent to, and much faster than,
+    testing each shifted copy of the interval separately.
+    """
+    if periodic_dims is None:
+        plain = slice(None)
+        has_periodic = False
+    else:
+        periodic_dims = np.asarray(periodic_dims, dtype=bool)
+        has_periodic = bool(periodic_dims.any())
+        plain = ~periodic_dims if has_periodic else slice(None)
+    result = np.all(
+        (lows[:, None, plain] <= window_highs[None, :, plain])
+        & (window_lows[None, :, plain] <= highs[:, None, plain]),
+        axis=-1,
+    )
+    if has_periodic:
+        angular = np.nonzero(periodic_dims)[0]
+        entry_half = (highs[:, angular] - lows[:, angular]) * 0.5
+        entry_center = lows[:, angular] + entry_half
+        window_half = (window_highs[:, angular] - window_lows[:, angular]) * 0.5
+        window_center = window_lows[:, angular] + window_half
+        gap = np.abs((entry_center[:, None, :] - window_center[None, :, :]
+                      + math.pi) % TWO_PI - math.pi)
+        hits = gap <= entry_half[:, None, :] + window_half[None, :, :]
+        wide = (entry_half >= math.pi)[:, None, :] | (window_half >= math.pi)[None, :, :]
+        result &= np.all(hits | wide, axis=-1)
+    return result

@@ -22,6 +22,7 @@ import math
 
 import numpy as np
 
+from ..core.errors import IndexError_
 from .geometry import Rect
 from .rtree import RTree, RTreeEntry, RTreeNode
 
@@ -49,6 +50,25 @@ class RStarTree(RTree):
     def insert(self, rect_or_point, record) -> None:  # noqa: D102 - inherits docstring
         self._overflow_handled_levels = set()
         super().insert(rect_or_point, record)
+
+    @classmethod
+    def bulk_load(cls, points: np.ndarray, records, *, max_entries: int = 8,
+                  min_entries: int | None = None,
+                  page_store=None) -> "RStarTree":
+        """Sort-Tile-Recursive bulk load (see :meth:`RTree.bulk_load`).
+
+        The R*-tree insertion heuristics play no role in a bottom-up build;
+        the resulting tree only differs from a bulk-loaded plain R-tree in
+        how later dynamic inserts behave.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise IndexError_("bulk_load expects a 2-d array of points")
+        tree = cls(dimension=points.shape[1] or 1,
+                   max_entries=max_entries, min_entries=min_entries,
+                   page_store=page_store)
+        tree.bulk_load_points(points, records)
+        return tree
 
     def _choose_leaf(self, node: RTreeNode, entry: RTreeEntry) -> RTreeNode:
         while not node.is_leaf:

@@ -13,8 +13,6 @@ or a ``seed`` so that every experiment is reproducible bit for bit.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 
 from .series import TimeSeries

@@ -59,6 +59,17 @@ def test_stock_analysis_runs(capsys):
     assert "opposite movers" in output
 
 
+def test_batched_queries_runs(capsys):
+    module = _load("batched_queries")
+    module.NUM_SERIES = 200
+    module.NUM_QUERIES = 8
+    module.main()
+    output = capsys.readouterr().out
+    assert "all three agree: True" in output
+    assert "from_cache: True" in output
+    assert "after insert, served from cache: False" in output
+
+
 @pytest.mark.parametrize("name", ["index_vs_scan"])
 def test_other_examples_importable(name):
     module = _load(name)

@@ -3,16 +3,13 @@ of the three query types, and agreement with the sequential scan."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.errors import IndexError_, UnsafeTransformationError
 from repro.index.kindex import KIndex
 from repro.index.scan import SequentialScan
 from repro.timeseries.features import SeriesFeatureExtractor
-from repro.timeseries.generators import noisy_copy, random_walk_collection
+from repro.timeseries.generators import noisy_copy
 from repro.timeseries.transforms import (
     identity_spectral,
     moving_average_spectral,

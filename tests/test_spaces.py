@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import DimensionMismatchError
-from repro.core.objects import FeatureVector
 from repro.core.spaces import PolarSpace, RectangularSpace
 
 complex_features = st.lists(
