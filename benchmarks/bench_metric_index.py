@@ -1,0 +1,197 @@
+"""METRIC — VP-tree triangle-inequality pruning vs brute-force edit-distance scan.
+
+The string domain has no feature-space embedding, so its brute-force baseline
+computes the ``O(n*m)`` edit-distance dynamic program against **every** record
+of the relation.  The metric index prunes subtrees (and leaf entries) by the
+triangle inequality, so the claim measured here is:
+
+* a string range query through the metric index returns answers identical to
+  the brute-force scan while computing measurably fewer exact distances.
+
+Runnable two ways: under pytest-benchmark like the other ``bench_*`` files,
+or directly as a script (``python benchmarks/bench_metric_index.py``)
+printing a summary table — the CI smoke job runs the script on a tiny
+workload, and ``--check`` turns the claim into hard assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.query.executor import QueryEngine
+from repro.index.metric import MetricIndex
+from repro.strings import StringObject, edit_distance_provider
+
+RANGE_TEXT = "SELECT FROM words WHERE dist(object, $q) < {epsilon}"
+
+SEED_WORDS = [
+    "pattern", "lantern", "transformation", "similarity", "relation",
+    "database", "distance", "triangle", "inequality", "sequence",
+    "spectral", "coefficient", "benchmark", "metric", "vantage",
+]
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _mutate(word: str, rng: random.Random, edits: int) -> str:
+    characters = list(word)
+    for _ in range(edits):
+        operation = rng.randrange(3)
+        position = rng.randrange(len(characters)) if characters else 0
+        if operation == 0 and characters:
+            characters[position] = rng.choice(ALPHABET)
+        elif operation == 1:
+            characters.insert(position, rng.choice(ALPHABET))
+        elif characters:
+            del characters[position]
+    return "".join(characters) or rng.choice(ALPHABET)
+
+
+def _word_collection(count: int, seed: int = 29) -> list[StringObject]:
+    """A clustered vocabulary: random mutations of a small seed list."""
+    rng = random.Random(seed)
+    words: list[StringObject] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        text = _mutate(rng.choice(SEED_WORDS), rng, rng.randint(0, 4))
+        if text not in seen:
+            seen.add(text)
+            words.append(StringObject(text))
+    return words
+
+
+def _make_engine(words: list[StringObject], *, with_index: bool,
+                 answer_cache_size: int = 0) -> QueryEngine:
+    database = Database()
+    database.create_relation("words", words)
+    provider = edit_distance_provider()
+    database.register_distance("words", provider)
+    if with_index:
+        index = MetricIndex(provider.distance, leaf_capacity=8)
+        index.extend(words)
+        database.register_index("words", index)
+    return QueryEngine(database, answer_cache_size=answer_cache_size)
+
+
+def _workload(num_words: int, num_queries: int) -> tuple[list[StringObject],
+                                                         list[StringObject]]:
+    words = _word_collection(num_words)
+    rng = random.Random(83)
+    queries = [StringObject(_mutate(rng.choice(SEED_WORDS), rng, rng.randint(0, 2)))
+               for _ in range(num_queries)]
+    return words, queries
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def metric_setup():
+    words, queries = _workload(800, 32)
+    text = RANGE_TEXT.format(epsilon=2.0)
+    bindings = [{"q": query} for query in queries]
+    return words, text, bindings
+
+
+@pytest.mark.benchmark(group="metric-index")
+def bench_brute_force_scan(benchmark, metric_setup):
+    words, text, bindings = metric_setup
+    engine = _make_engine(words, with_index=False)
+    benchmark(lambda: engine.execute_many([text] * len(bindings), bindings))
+
+
+@pytest.mark.benchmark(group="metric-index")
+def bench_metric_index(benchmark, metric_setup):
+    words, text, bindings = metric_setup
+    engine = _make_engine(words, with_index=True)
+    engine.execute(text, bindings[0])  # build the tree outside the measured region
+    benchmark(lambda: engine.execute_many([text] * len(bindings), bindings))
+
+
+# ----------------------------------------------------------------------
+# script entry point (used by the CI smoke job)
+# ----------------------------------------------------------------------
+def run_comparison(num_words: int = 800, num_queries: int = 32,
+                   epsilon: float = 2.0) -> dict:
+    """Measure the claim and return the raw numbers."""
+    words, queries = _workload(num_words, num_queries)
+    text = RANGE_TEXT.format(epsilon=epsilon)
+    bindings = [{"q": query} for query in queries]
+
+    brute_engine = _make_engine(words, with_index=False)
+    metric_engine = _make_engine(words, with_index=True)
+    metric_engine.execute(text, bindings[0])  # build the tree up front
+
+    started = time.perf_counter()
+    brute_outcomes = brute_engine.execute_many([text] * len(bindings), bindings)
+    brute_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    metric_outcomes = metric_engine.execute_many([text] * len(bindings), bindings)
+    metric_seconds = time.perf_counter() - started
+
+    mismatched = sum(
+        1 for brute, metric in zip(brute_outcomes, metric_outcomes)
+        if sorted((obj.text, round(d, 9)) for obj, d in brute.answers)
+        != sorted((obj.text, round(d, 9)) for obj, d in metric.answers))
+    brute_distances = sum(o.statistics.postprocessed for o in brute_outcomes)
+    metric_distances = sum(o.statistics.postprocessed for o in metric_outcomes)
+
+    return {
+        "num_words": num_words,
+        "num_queries": num_queries,
+        "epsilon": epsilon,
+        "brute_seconds": brute_seconds,
+        "metric_seconds": metric_seconds,
+        "speedup": brute_seconds / metric_seconds if metric_seconds else float("inf"),
+        "brute_distances": brute_distances,
+        "metric_distances": metric_distances,
+        "distance_ratio": metric_distances / brute_distances if brute_distances else 0.0,
+        "mismatched_answers": mismatched,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--words", type=int, default=800,
+                        help="relation size (default 800)")
+    parser.add_argument("--queries", type=int, default=32,
+                        help="number of range queries (default 32)")
+    parser.add_argument("--epsilon", type=float, default=2.0,
+                        help="edit-distance threshold (default 2.0)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the index computes fewer exact "
+                             "distances with identical answers")
+    arguments = parser.parse_args(argv)
+    if arguments.words < 2 or arguments.queries < 1:
+        parser.error("--words and --queries must be positive (words at least 2)")
+    if arguments.epsilon < 0:
+        parser.error("--epsilon must be non-negative")
+    numbers = run_comparison(arguments.words, arguments.queries, arguments.epsilon)
+    print(f"== metric index vs brute-force scan ({numbers['num_queries']} range "
+          f"queries, epsilon {numbers['epsilon']}, {numbers['num_words']} words) ==")
+    print(f"brute-force scan : {numbers['brute_distances']:8d} exact distances "
+          f"in {numbers['brute_seconds']:.3f}s")
+    print(f"metric index     : {numbers['metric_distances']:8d} exact distances "
+          f"in {numbers['metric_seconds']:.3f}s "
+          f"({numbers['distance_ratio']:.0%} of brute force, "
+          f"{numbers['speedup']:.2f}x faster)")
+    print(f"mismatched answers: {numbers['mismatched_answers']}")
+    if numbers["mismatched_answers"]:
+        print("FAIL: metric index answers diverge from the brute-force scan",
+              file=sys.stderr)
+        return 1
+    if arguments.check and numbers["metric_distances"] >= numbers["brute_distances"]:
+        print("FAIL: metric index did not save exact distance computations",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,7 @@ The package is organised as:
 from __future__ import annotations
 
 from .core.cost import AdditiveCostModel, CostBudget, MaxCostModel
-from .core.database import Database, Relation, Row
+from .core.database import Database, DistanceProvider, Relation, Row
 from .core.distance import city_block, euclidean, euclidean_with_early_abandon
 from .core.errors import (
     CostExceededError,
@@ -61,7 +61,7 @@ from .core.patterns import (
     RelationPattern,
     TransformedPattern,
 )
-from .core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery
+from .core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery, SimilarityQuery
 from .core.query.executor import QueryEngine, QueryOutcome
 from .core.query.parser import parse as parse_query
 from .core.query.planner import Planner, explain
@@ -78,6 +78,7 @@ from .core.transformations import (
 )
 from .index.geometry import Rect, mindist, minmaxdist
 from .index.kindex import KIndex, NearestNeighborResult, RangeQueryResult
+from .index.metric import MetricIndex
 from .index.rstar import RStarTree
 from .index.rtree import RTree
 from .index.scan import SequentialScan
@@ -90,6 +91,7 @@ from .index.transformed import (
 from .storage.buffer import BufferPool
 from .storage.pages import PageStore
 from .strings.distance import transformation_edit_distance, weighted_edit_distance
+from .strings.provider import edit_distance_provider
 from .strings.objects import StringObject
 from .timeseries.dft import dft, inverse_dft
 from .timeseries.distances import dtw_distance, normalized_euclidean
@@ -122,14 +124,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdditiveCostModel", "CostBudget", "MaxCostModel",
-    "Database", "Relation", "Row",
+    "Database", "DistanceProvider", "Relation", "Row",
     "city_block", "euclidean", "euclidean_with_early_abandon",
     "ReproError", "DimensionMismatchError", "UnsafeTransformationError",
     "CostExceededError", "PatternError", "QuerySyntaxError", "QueryPlanningError",
     "DataObject", "FeatureVector", "GenericObject",
     "Pattern", "AnyPattern", "ConstantPattern", "PredicatePattern",
     "RelationPattern", "TransformedPattern",
-    "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
+    "RangeQuery", "NearestNeighborQuery", "AllPairsQuery", "SimilarityQuery",
     "QueryEngine", "QueryOutcome", "parse_query", "Planner", "explain",
     "TransformationRuleSet",
     "SimilarityEngine", "is_similar", "transformation_distance",
@@ -137,12 +139,13 @@ __all__ = [
     "Transformation", "IdentityTransformation", "FunctionTransformation",
     "ComposedTransformation", "LinearTransformation", "RealLinearTransformation",
     "Rect", "mindist", "minmaxdist",
-    "KIndex", "RangeQueryResult", "NearestNeighborResult",
+    "KIndex", "MetricIndex", "RangeQueryResult", "NearestNeighborResult",
     "RTree", "RStarTree", "SequentialScan",
     "materialize_transformed_tree", "transformed_range_search",
     "transformed_nearest_neighbors", "transformed_join",
     "PageStore", "BufferPool",
     "StringObject", "weighted_edit_distance", "transformation_edit_distance",
+    "edit_distance_provider",
     "dft", "inverse_dft", "dtw_distance", "normalized_euclidean",
     "SeriesFeatureExtractor",
     "random_walk", "random_walk_collection", "noisy_copy", "opposite_copy",

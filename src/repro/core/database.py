@@ -8,17 +8,72 @@ rows together with an optional attribute dictionary per row, and
 over them.  The query executor and the benchmark harness work exclusively
 through these two classes, so swapping in a different storage engine only
 requires re-implementing this module's interface.
+
+Because the framework is domain independent, the catalog also records *how
+objects of a relation are compared*: a :class:`DistanceProvider` pairs the
+relation's exact distance (a metric, e.g. the weighted edit distance for
+strings) with an optional transformation rule set for bounded-cost
+similarity queries.  Relations of time series don't need one — their
+distance is fixed by the feature extractor — but any other domain becomes
+queryable by registering a provider.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Iterator, Mapping
 from typing import Any
 
 from .errors import CatalogError
 from .objects import DataObject
+from .rules import TransformationRuleSet
 
-__all__ = ["Row", "Relation", "Database"]
+__all__ = ["Row", "Relation", "Database", "DistanceProvider"]
+
+
+@dataclass(frozen=True)
+class DistanceProvider:
+    """How a relation's objects are compared, for the domain-generic planner.
+
+    Attributes
+    ----------
+    distance:
+        The exact base distance ``D0``; a callable ``(x, y) -> float``.  It
+        must be a metric (triangle inequality) for metric-index pruning to be
+        admissible; a non-metric distance still works through the scan paths.
+    rules:
+        Transformations for ``SIM`` queries: either a
+        :class:`~repro.core.rules.TransformationRuleSet` shared by every
+        query, or a factory ``(source, target) -> TransformationRuleSet``
+        generating target-guided rules per object pair (the string domain's
+        lazily-expanded edit operations).  ``None`` disables ``SIM`` queries.
+    cost_bounds_distance:
+        Declares that every transformation the rules produce moves an object
+        by at most its cost under ``distance`` (edit operations under the
+        edit distance are the canonical case).  By the triangle inequality
+        ``distance(x, q) <= cost_bound + epsilon`` is then *necessary* for
+        ``sim(x, q)`` to hold, so the executor may screen candidates — via
+        the metric index at radius ``cost_bound + epsilon`` when one is
+        registered — without false dismissals.  Leave ``False`` when unsure;
+        queries stay correct, just unscreened.
+    name:
+        Label used in plan explanations.
+    """
+
+    distance: Callable[[Any, Any], float]
+    rules: TransformationRuleSet | Callable[[Any, Any], TransformationRuleSet] | None = None
+    cost_bounds_distance: bool = False
+    name: str = "distance"
+
+    def rules_for(self, source: Any, target: Any) -> TransformationRuleSet:
+        """The rule set governing a (source, target) similarity evaluation."""
+        if self.rules is None:
+            raise CatalogError(
+                f"distance provider {self.name!r} has no transformation rules; "
+                "SIM queries need a rule set or a rule factory")
+        if isinstance(self.rules, TransformationRuleSet):
+            return self.rules
+        return self.rules(source, target)
 
 
 class Row:
@@ -127,6 +182,7 @@ class Database:
         self.name = name
         self._relations: dict[str, Relation] = {}
         self._indexes: dict[tuple[str, str], Any] = {}
+        self._distance_providers: dict[str, DistanceProvider] = {}
         self._catalog_version = 0
 
     # ------------------------------------------------------------------
@@ -151,12 +207,13 @@ class Database:
             raise CatalogError(f"unknown relation {name!r}; known: {known}") from None
 
     def drop_relation(self, name: str) -> None:
-        """Remove a relation and every index built on it."""
+        """Remove a relation, every index built on it and its distance provider."""
         if name not in self._relations:
             raise CatalogError(f"unknown relation {name!r}")
         del self._relations[name]
         for key in [key for key in self._indexes if key[0] == name]:
             del self._indexes[key]
+        self._distance_providers.pop(name, None)
         self._catalog_version += 1
 
     def relations(self) -> list[str]:
@@ -205,6 +262,53 @@ class Database:
     def has_index(self, relation_name: str, index_name: str = "default") -> bool:
         """Whether an index is registered for the relation."""
         return (relation_name, index_name) in self._indexes
+
+    # ------------------------------------------------------------------
+    # distance providers
+    # ------------------------------------------------------------------
+    def register_distance(self, relation_name: str,
+                          provider: DistanceProvider | Callable[[Any, Any], float], *,
+                          rules: TransformationRuleSet
+                          | Callable[[Any, Any], TransformationRuleSet] | None = None,
+                          cost_bounds_distance: bool = False,
+                          name: str | None = None) -> DistanceProvider:
+        """Declare how objects of a relation are compared.
+
+        ``provider`` may be a ready-made :class:`DistanceProvider` or a bare
+        distance callable (wrapped together with the optional ``rules``).
+        The keyword arguments configure the wrapping only — combining them
+        with a ready-made provider is rejected rather than silently ignored.
+        Registration bumps the catalog version, so cached plans and answers
+        over the relation are invalidated by construction.
+        """
+        if relation_name not in self._relations:
+            raise CatalogError(f"unknown relation {relation_name!r}")
+        if isinstance(provider, DistanceProvider) and \
+                (rules is not None or cost_bounds_distance or name is not None):
+            raise CatalogError(
+                "pass the configuration either inside the DistanceProvider or as "
+                "keyword arguments for a bare callable, not both")
+        if not isinstance(provider, DistanceProvider):
+            provider = DistanceProvider(distance=provider, rules=rules,
+                                        cost_bounds_distance=cost_bounds_distance,
+                                        name=name or getattr(provider, "__name__", "distance"))
+        self._distance_providers[relation_name] = provider
+        self._catalog_version += 1
+        return provider
+
+    def distance_provider(self, relation_name: str) -> DistanceProvider:
+        """The distance provider registered for a relation."""
+        try:
+            return self._distance_providers[relation_name]
+        except KeyError:
+            known = ", ".join(sorted(self._distance_providers)) or "<none>"
+            raise CatalogError(
+                f"no distance provider registered for relation {relation_name!r}; "
+                f"relations with providers: {known}") from None
+
+    def has_distance_provider(self, relation_name: str) -> bool:
+        """Whether the relation has a registered distance provider."""
+        return relation_name in self._distance_providers
 
     def indexes(self) -> list[tuple[str, str]]:
         """All (relation, index name) pairs."""

@@ -1,15 +1,24 @@
 """Abstract syntax of the similarity query language ``L``.
 
 The language is a deliberately small extension of single-relation selection
-with three similarity predicates, mirroring the three query classes the
-framework supports:
+with four similarity predicates, mirroring the query classes the framework
+supports:
 
 * **range** — objects of a relation whose (transformed) distance to a query
   object is below a threshold;
 * **nearest-neighbour** — the ``k`` objects closest to a query object under a
   transformation;
 * **all-pairs** — pairs of objects of a relation within a threshold of each
-  other under a transformation (a similarity self-join).
+  other under a transformation (a similarity self-join);
+* **similarity** — objects a bounded-cost transformation sequence rewrites to
+  within a threshold of the query object (the paper's ``sim(A, e, T, c)``
+  predicate, evaluated by the generic engine).
+
+The AST is domain neutral: nothing in it assumes the relation holds time
+series — the surface syntax accepts ``DIST(OBJECT, $q)`` and
+``DIST(SERIES, $q)`` interchangeably, and which machinery answers a query
+(spatial index, metric index, sequential scan or the generic similarity
+engine) is the planner's decision, driven by the catalog.
 
 Queries reference the query object and the transformation *by name*; both are
 resolved at execution time from bindings supplied by the caller, which keeps
@@ -19,9 +28,11 @@ the parser and the planner).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery"]
+__all__ = ["Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
+           "SimilarityQuery"]
 
 
 @dataclass(frozen=True)
@@ -56,3 +67,25 @@ class AllPairsQuery(Query):
     """``SELECT PAIRS FROM r WHERE dist < eps [USING t]``"""
 
     epsilon: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimilarityQuery(Query):
+    """``SELECT FROM r WHERE sim(object, $q) < eps [COST c]``
+
+    The bounded-cost similarity predicate: an object answers when some
+    transformation sequence (drawn from the relation's registered rule set)
+    of total cost at most ``cost_bound`` rewrites it to within ``epsilon``
+    base distance of the query object.  ``cost_bound`` defaults to
+    "unbounded" — the rule set's own limits keep the search finite.
+
+    Evaluation inherits the framework's termination guarantees: the engine
+    searches under state and sequence-length limits, so answers are *sound*
+    (every reported object has a genuine witness sequence) but objects
+    reachable only through extremely long transformation sequences may be
+    missed.  Choose cost bounds commensurate with the rule costs.
+    """
+
+    parameter: str = "query"
+    epsilon: float = 0.0
+    cost_bound: float = math.inf

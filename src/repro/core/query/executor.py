@@ -2,8 +2,12 @@
 
 The :class:`QueryEngine` ties the pieces together:
 
-* relations hold :class:`~repro.timeseries.series.TimeSeries` objects,
-* a :class:`~repro.index.kindex.KIndex` may be registered per relation,
+* relations hold :class:`~repro.core.objects.DataObject` rows — time series,
+  strings, or any other domain,
+* a :class:`~repro.index.kindex.KIndex` (spatial) or
+  :class:`~repro.index.metric.MetricIndex` (metric) may be registered per
+  relation; non-spatial relations declare a
+  :class:`~repro.core.database.DistanceProvider`,
 * transformations are registered by name (the names used in ``USING``
   clauses),
 * query objects are bound by name at execution time (``$param``).
@@ -13,30 +17,35 @@ parsed, planned (through an LRU **plan cache** keyed on the normalised AST),
 probed against the **answer cache** (keyed on the AST, the bound parameters
 and the relation's version token, so any :class:`Database` mutation
 invalidates it), and the remaining misses are grouped by relation and plan
-shape.  Groups of index range queries run as one shared, vectorised R-tree
-traversal (:meth:`KIndex.range_query_batch`); everything else runs through
-the per-query interpreters.  ``execute`` is a thin wrapper over the batch
-path.  Each query yields a :class:`QueryOutcome` carrying the answers, the
-chosen plan and the work counters — which is what the benchmark harness
-records.
+shape.  Groups of spatial index range queries run as one shared, vectorised
+R-tree traversal (:meth:`KIndex.range_query_batch`); groups of metric index
+range queries share one triangle-inequality-pruned traversal
+(:meth:`MetricIndex.range_query_batch`); everything else runs through the
+per-query interpreters.  ``execute`` is a thin wrapper over the batch path.
+Each query yields a :class:`QueryOutcome` carrying the answers, the chosen
+plan and the work counters — which is what the benchmark harness records.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
 from ...index.kindex import KIndex, QueryStatistics
 from ...index.scan import SequentialScan
-from ...timeseries.series import TimeSeries
 from ...timeseries.transforms import SpectralTransformation
-from ..database import Database, Relation
+from ..database import Database, DistanceProvider, Relation
 from ..errors import QueryPlanningError
-from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from ..similarity import SimilarityEngine
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
 from .cache import LRUCache
 from .parser import parse
 from .planner import (
+    EngineJoinPlan,
+    EngineNearestPlan,
+    EngineRangePlan,
     IndexJoinPlan,
     IndexNearestPlan,
     IndexRangePlan,
@@ -71,8 +80,8 @@ class QueryEngine:
     Parameters
     ----------
     database:
-        Catalog of relations (of :class:`TimeSeries`) and registered
-        :class:`KIndex` instances.
+        Catalog of relations (of any :class:`~repro.core.objects.DataObject`
+        domain), registered indexes and distance providers.
     transformations:
         Mapping from transformation names (as used in ``USING`` clauses) to
         :class:`SpectralTransformation` objects.
@@ -127,7 +136,7 @@ class QueryEngine:
     # execution
     # ------------------------------------------------------------------
     def execute(self, query: str | Query,
-                parameters: Mapping[str, TimeSeries] | None = None) -> QueryOutcome:
+                parameters: Mapping[str, Any] | None = None) -> QueryOutcome:
         """Parse (if needed), plan and run one query.
 
         A thin wrapper over :meth:`execute_many` with a single-element batch.
@@ -135,8 +144,8 @@ class QueryEngine:
         return self.execute_many([query], parameters=[parameters])[0]
 
     def execute_many(self, queries: Sequence[str | Query],
-                     parameters: Sequence[Mapping[str, TimeSeries] | None]
-                     | Mapping[str, TimeSeries] | None = None
+                     parameters: Sequence[Mapping[str, Any] | None]
+                     | Mapping[str, Any] | None = None
                      ) -> list[QueryOutcome]:
         """Plan and run a batch of queries, returning one outcome per query.
 
@@ -177,9 +186,12 @@ class QueryEngine:
                     continue
             groups.setdefault(self._group_key(node, plan), []).append(index)
         for group_key, members in groups.items():
-            if group_key is not None:
+            if group_key is not None and group_key[0] == "kindex":
                 self._run_index_range_group(members, nodes, bindings, plans,
                                             outcomes)
+            elif group_key is not None and group_key[0] == "metric":
+                self._run_metric_range_group(members, nodes, bindings, plans,
+                                             outcomes)
             else:
                 for index in members:
                     started = time.perf_counter()
@@ -198,7 +210,7 @@ class QueryEngine:
 
     @staticmethod
     def _normalize_bindings(parameters, count: int
-                            ) -> list[Mapping[str, TimeSeries]]:
+                            ) -> list[Mapping[str, Any]]:
         if parameters is None:
             return [{} for _ in range(count)]
         if isinstance(parameters, Mapping):
@@ -224,7 +236,7 @@ class QueryEngine:
         return plan
 
     def _answer_cache_key(self, node: Query,
-                          binding: Mapping[str, TimeSeries]) -> tuple | None:
+                          binding: Mapping[str, Any]) -> tuple | None:
         """Cache key for a query's answers, or ``None`` when not cacheable.
 
         The key combines the normalised AST, a byte-level fingerprint of the
@@ -233,26 +245,54 @@ class QueryEngine:
         """
         if node.relation not in self.database:
             return None
-        if isinstance(node, (RangeQuery, NearestNeighborQuery)):
-            parameter = binding.get(node.parameter)
-            values = getattr(parameter, "values", None)
-            if values is None:
+        if isinstance(node, (RangeQuery, NearestNeighborQuery, SimilarityQuery)):
+            content = self._parameter_fingerprint(binding.get(node.parameter))
+            if content is None:
                 return None
-            fingerprint = (node.parameter, values.tobytes())
+            fingerprint = (node.parameter, content)
         else:
             fingerprint = ()
         return (node, fingerprint, self.database.state_token(node.relation))
 
     @staticmethod
+    def _parameter_fingerprint(parameter: Any) -> tuple | None:
+        """A hashable content fingerprint of a bound query object.
+
+        Works for any domain exposing raw content: numeric ``values`` (time
+        series, feature vectors) or ``text`` (strings).  ``None`` marks the
+        object uncacheable — the query still runs, it just bypasses the
+        answer cache.
+        """
+        if parameter is None:
+            return None
+        values = getattr(parameter, "values", None)
+        if values is not None and hasattr(values, "tobytes"):
+            return ("values", values.tobytes())
+        text = getattr(parameter, "text", None)
+        if isinstance(text, str):
+            return ("text", text)
+        if isinstance(parameter, str):
+            return ("text", parameter)
+        return None
+
+    @staticmethod
     def _group_key(node: Query, plan: Plan) -> tuple | None:
-        """Batch-compatibility key; ``None`` means "run individually"."""
+        """Batch-compatibility key; ``None`` means "run individually".
+
+        The first element names the batch runner: ``"kindex"`` groups share a
+        vectorised R-tree traversal, ``"metric"`` groups share one
+        triangle-inequality-pruned metric-tree traversal.
+        """
         if isinstance(plan, IndexRangePlan) and isinstance(node, RangeQuery):
-            return (node.relation, plan.index_name, node.transformation,
+            return ("kindex", node.relation, plan.index_name, node.transformation,
                     node.transform_query)
+        if isinstance(plan, EngineRangePlan) and isinstance(node, RangeQuery) \
+                and plan.index_name is not None and not plan.via_engine:
+            return ("metric", node.relation, plan.index_name)
         return None
 
     def _run_index_range_group(self, members: list[int], nodes: list[Query],
-                               bindings: list[Mapping[str, TimeSeries]],
+                               bindings: list[Mapping[str, Any]],
                                plans: list[Plan | None],
                                outcomes: list[QueryOutcome | None]) -> None:
         """Run a group of compatible index range queries as one batch."""
@@ -273,18 +313,144 @@ class QueryEngine:
                                             statistics=result.statistics,
                                             elapsed_seconds=share)
 
+    def _run_metric_range_group(self, members: list[int], nodes: list[Query],
+                                bindings: list[Mapping[str, Any]],
+                                plans: list[Plan | None],
+                                outcomes: list[QueryOutcome | None]) -> None:
+        """Run a group of metric index range queries as one shared traversal."""
+        started = time.perf_counter()
+        first = nodes[members[0]]
+        plan = plans[members[0]]
+        index = self.database.index(first.relation, plan.index_name)
+        queries = [self._parameter(nodes[i].parameter, bindings[i]) for i in members]
+        epsilons = [nodes[i].epsilon for i in members]
+        results = index.range_query_batch(queries, epsilons)
+        share = (time.perf_counter() - started) / len(members)
+        for member, result in zip(members, results):
+            outcomes[member] = QueryOutcome(plan=plans[member],
+                                            answers=result.answers,
+                                            statistics=result.statistics,
+                                            elapsed_seconds=share)
+
     def _run(self, plan: Plan, node: Query,
              transformation: SpectralTransformation | None,
-             parameters: Mapping[str, TimeSeries]) -> QueryOutcome:
+             parameters: Mapping[str, Any]) -> QueryOutcome:
+        if isinstance(plan, (EngineRangePlan, EngineNearestPlan, EngineJoinPlan)):
+            return self._run_with_provider(plan, node, parameters)
         if isinstance(plan, (IndexRangePlan, IndexNearestPlan, IndexJoinPlan)):
             index = self.database.index(node.relation, getattr(plan, "index_name", "default"))
             return self._run_with_index(plan, node, transformation, parameters, index)
         return self._run_with_scan(plan, node, transformation, parameters)
 
+    # -- provider (domain-generic) plans ---------------------------------
+    def _run_with_provider(self, plan: Plan, node: Query,
+                           parameters: Mapping[str, Any]) -> QueryOutcome:
+        """Interpret the engine plan family over the relation's distance provider."""
+        provider = self.database.distance_provider(node.relation)
+        if isinstance(plan, EngineRangePlan) and plan.via_engine:
+            query_obj = self._parameter(node.parameter, parameters)
+            return self._run_similarity_search(plan, node, provider, query_obj)
+        # Metric-index *range* plans never reach here: execute_many batches
+        # them through _run_metric_range_group (see _group_key).
+        if isinstance(plan, EngineNearestPlan) and plan.index_name is not None:
+            index = self.database.index(node.relation, plan.index_name)
+            query_obj = self._parameter(node.parameter, parameters)
+            result = index.nearest_neighbors(query_obj, node.k)
+            return QueryOutcome(plan=plan, answers=result.answers,
+                                statistics=result.statistics)
+        objects = self.database.relation(node.relation).objects()
+        statistics = QueryStatistics(candidates=len(objects))
+        if isinstance(plan, EngineJoinPlan):
+            pairs: list[tuple[Any, Any, float]] = []
+            for i, left in enumerate(objects):
+                for right in objects[i + 1:]:
+                    statistics.postprocessed += 1
+                    distance = float(provider.distance(left, right))
+                    if distance <= node.epsilon:
+                        pairs.append((left, right, distance))
+            statistics.candidates = statistics.postprocessed
+            return QueryOutcome(plan=plan, answers=pairs, statistics=statistics)
+        query_obj = self._parameter(node.parameter, parameters)
+        scored: list[tuple[Any, float]] = []
+        for obj in objects:
+            statistics.postprocessed += 1
+            scored.append((obj, float(provider.distance(obj, query_obj))))
+        scored.sort(key=lambda pair: pair[1])
+        if isinstance(node, RangeQuery):
+            answers = [pair for pair in scored if pair[1] <= node.epsilon]
+        else:
+            answers = scored[:node.k]
+        return QueryOutcome(plan=plan, answers=answers, statistics=statistics)
+
+    def _run_similarity_search(self, plan: EngineRangePlan, node: SimilarityQuery,
+                               provider: DistanceProvider,
+                               query_obj: Any) -> QueryOutcome:
+        """Evaluate the bounded-cost ``sim`` predicate.
+
+        Candidates come from the whole relation, screened down when the
+        provider's rules are cost-bounded by the base distance — through the
+        metric index at radius ``cost_bound + epsilon`` when the plan names
+        one, by a direct base-distance check otherwise.  Each surviving
+        candidate gets its own rule set (providers may generate
+        target-guided rules per pair) and one run of the generic engine's
+        uniform-cost search, stopped at the first witness.
+        """
+        statistics = QueryStatistics()
+        screen_radius = node.cost_bound + node.epsilon
+        if plan.index_name is not None:
+            index = self.database.index(node.relation, plan.index_name)
+            screened = index.range_query(query_obj, screen_radius)
+            candidates = [obj for obj, _ in screened.answers]
+            statistics = screened.statistics
+            statistics.candidates = len(candidates)
+        else:
+            candidates = self.database.relation(node.relation).objects()
+            if provider.cost_bounds_distance and math.isfinite(screen_radius):
+                screened_objects = []
+                for obj in candidates:
+                    statistics.postprocessed += 1
+                    if float(provider.distance(obj, query_obj)) <= screen_radius:
+                        screened_objects.append(obj)
+                candidates = screened_objects
+            statistics.candidates = len(candidates)
+        answers: list[tuple[Any, float]] = []
+        for obj in candidates:
+            rules = provider.rules_for(obj, query_obj)
+            engine = SimilarityEngine(
+                rules, provider.distance,
+                max_steps_per_side=self._engine_steps(rules, node.cost_bound))
+            result = engine.similar(obj, query_obj, cost_bound=node.cost_bound,
+                                    epsilon=node.epsilon, first_match=True)
+            statistics.postprocessed += 1
+            statistics.node_accesses += result.states_explored
+            if result.similar:
+                answers.append((obj, result.distance))
+        answers.sort(key=lambda pair: pair[1])
+        return QueryOutcome(plan=plan, answers=answers, statistics=statistics)
+
+    @staticmethod
+    def _engine_steps(rules, cost_bound: float, *, cap: int = 12) -> int:
+        """Longest transformation sequence worth searching under a cost bound.
+
+        ``cap`` (together with the engine's ``max_states``) is the
+        termination guarantee the framework requires of ``sim`` evaluation:
+        answers beyond it would need sequences whose search frontier is
+        astronomically large anyway.  The trade-off — sound answers, bounded
+        search — is documented on :class:`SimilarityQuery`.
+        """
+        cheapest = rules.cheapest()
+        if cheapest is None:
+            return 1
+        if not math.isfinite(cost_bound) or cheapest.cost <= 0:
+            return 4  # the engine's usual default; max_states still bounds the search
+        # Tolerant floor: binary-inexact costs (0.6 / 0.1 -> 5.999...) must
+        # not under-budget the sequence length by one.
+        return max(1, min(cap, int(cost_bound / cheapest.cost + 1e-9)))
+
     # -- index plans -----------------------------------------------------
     def _run_with_index(self, plan: Plan, node: Query,
                         transformation: SpectralTransformation | None,
-                        parameters: Mapping[str, TimeSeries],
+                        parameters: Mapping[str, Any],
                         index: KIndex) -> QueryOutcome:
         if isinstance(node, RangeQuery):
             query_series = self._parameter(node.parameter, parameters)
@@ -306,6 +472,29 @@ class QueryEngine:
         raise QueryPlanningError(f"index plan cannot run {type(node).__name__}")
 
     # -- scan plans ------------------------------------------------------
+    def drop_relation(self, name: str) -> None:
+        """Drop a relation from the database and evict engine-side state.
+
+        Dropping through the engine (rather than the database directly)
+        releases the relation's materialised :class:`SequentialScan`
+        immediately; cached plans and answers over it die with the catalog
+        version bump either way.
+        """
+        self.database.drop_relation(name)
+        self._scans.pop(name, None)
+
+    def _evict_stale_scans(self) -> None:
+        """Drop scans whose relation was removed or replaced in the catalog.
+
+        Keeps ``_scans`` bounded by the set of live relations, so a
+        drop/recreate churn workload cannot leak scan objects (each holds a
+        full copy of the relation's records).
+        """
+        for name in list(self._scans):
+            if name not in self.database \
+                    or self.database.relation(name) is not self._scans[name][0]:
+                del self._scans[name]
+
     def _scan_for(self, relation_name: str) -> SequentialScan:
         relation = self.database.relation(relation_name)
         cached = self._scans.get(relation_name)
@@ -314,6 +503,7 @@ class QueryEngine:
         # whose version can collide with the cached one.
         if cached is not None and cached[0] is relation and cached[1] == relation.version:
             return cached[2]
+        self._evict_stale_scans()
         scan = SequentialScan()
         scan.extend(relation)
         self._scans[relation_name] = (relation, relation.version, scan)
@@ -321,7 +511,7 @@ class QueryEngine:
 
     def _run_with_scan(self, plan: Plan, node: Query,
                        transformation: SpectralTransformation | None,
-                       parameters: Mapping[str, TimeSeries]) -> QueryOutcome:
+                       parameters: Mapping[str, Any]) -> QueryOutcome:
         scan = self._scan_for(node.relation)
         if isinstance(node, RangeQuery):
             query_series = self._parameter(node.parameter, parameters)
@@ -346,7 +536,7 @@ class QueryEngine:
         raise QueryPlanningError(f"scan plan cannot run {type(node).__name__}")
 
     @staticmethod
-    def _parameter(name: str, parameters: Mapping[str, TimeSeries]) -> TimeSeries:
+    def _parameter(name: str, parameters: Mapping[str, Any]) -> Any:
         try:
             return parameters[name]
         except KeyError:

@@ -3,24 +3,39 @@
 The grammar (case insensitive keywords, ``$name`` for query-object
 parameters)::
 
-    query        := range_query | nn_query | pairs_query
+    query        := range_query | sim_query | nn_query | pairs_query
     range_query  := "SELECT" "FROM" ident
-                    "WHERE" "DIST" "(" "SERIES" "," param ")" "<" number
+                    "WHERE" "DIST" "(" object_kw "," param ")" "<" number
                     [ "USING" ident ] [ "RAW" "QUERY" ]
+    sim_query    := "SELECT" "FROM" ident
+                    "WHERE" "SIM" "(" object_kw "," param ")" "<" number
+                    [ "COST" number ]
     nn_query     := "SELECT" "FROM" ident "NEAREST" integer "TO" param
                     [ "USING" ident ] [ "RAW" "QUERY" ]
     pairs_query  := "SELECT" "PAIRS" "FROM" ident "WHERE" "DIST" "<" number
                     [ "USING" ident ]
+    object_kw    := "OBJECT" | "SERIES"
     param        := "$" ident
+    number       := digits [ "." digits ] | "." digits, with an optional
+                    exponent suffix ("1e-3", "2.5E+4", ".5")
 
-``RAW QUERY`` asks the executor *not* to apply the transformation to the
-query object (by default both sides are transformed, which is how "compare
-the moving averages of the two series" reads most naturally).
+``OBJECT`` and ``SERIES`` are interchangeable — the query language is domain
+neutral; ``SERIES`` is kept for backwards compatibility with the time-series
+surface syntax.  ``RAW QUERY`` asks the executor *not* to apply the
+transformation to the query object (by default both sides are transformed,
+which is how "compare the moving averages of the two series" reads most
+naturally).  ``SIM`` is the paper's bounded-cost similarity predicate; its
+optional ``COST`` clause bounds the total transformation cost (unbounded when
+omitted).
 
 Examples
 --------
 >>> parse("SELECT FROM prices WHERE dist(series, $q) < 2.5 USING mavg20")
 RangeQuery(relation='prices', transformation='mavg20', parameter='q', epsilon=2.5, transform_query=True)
+>>> parse("SELECT FROM words WHERE dist(object, $q) < .5")
+RangeQuery(relation='words', transformation=None, parameter='q', epsilon=0.5, transform_query=True)
+>>> parse("SELECT FROM words WHERE sim(object, $q) < 1e-3 COST 2")
+SimilarityQuery(relation='words', transformation=None, parameter='q', epsilon=0.001, cost_bound=2.0)
 >>> parse("SELECT FROM prices NEAREST 3 TO $q")
 NearestNeighborQuery(relation='prices', transformation=None, parameter='q', k=3, transform_query=True)
 >>> parse("SELECT PAIRS FROM prices WHERE dist < 3.0 USING mavg20")
@@ -29,16 +44,18 @@ AllPairsQuery(relation='prices', transformation='mavg20', epsilon=3.0)
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass
 
 from ..errors import QuerySyntaxError
-from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
 
 __all__ = ["tokenize", "parse"]
 
 _TOKEN_PATTERN = re.compile(
-    r"\s*(?:(?P<number>\d+(?:\.\d+)?)|(?P<param>\$[A-Za-z_][A-Za-z_0-9]*)"
+    r"\s*(?:(?P<number>(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?)"
+    r"|(?P<param>\$[A-Za-z_][A-Za-z_0-9]*)"
     r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)|(?P<symbol>[(),<>]))"
 )
 
@@ -128,6 +145,22 @@ class _Parser:
                                    token.position)
         return float(token.value)
 
+    def _positive_integer(self) -> int:
+        token = self._peek()
+        value = self._number()
+        if not value.is_integer() or value < 1:
+            raise QuerySyntaxError(
+                f"expected a positive integer, found {token.value!r}",
+                token.position)
+        return int(value)
+
+    def _object_keyword(self) -> None:
+        """``OBJECT`` or, for backwards compatibility, ``SERIES``."""
+        token = self._advance()
+        if token.kind != "ident" or token.value.upper() not in ("OBJECT", "SERIES"):
+            raise QuerySyntaxError(
+                f"expected OBJECT or SERIES, found {token.value!r}", token.position)
+
     # -- grammar -------------------------------------------------------------
     def parse(self) -> Query:
         self._expect_keyword("SELECT")
@@ -143,10 +176,12 @@ class _Parser:
         raise QuerySyntaxError("expected WHERE or NEAREST",
                                token.position if token else len(self.text))
 
-    def _range_query(self, relation: str) -> RangeQuery:
+    def _range_query(self, relation: str) -> RangeQuery | SimilarityQuery:
+        if self._accept_keyword("SIM"):
+            return self._sim_query(relation)
         self._expect_keyword("DIST")
         self._expect_symbol("(")
-        self._expect_keyword("SERIES")
+        self._object_keyword()
         self._expect_symbol(",")
         parameter = self._parameter()
         self._expect_symbol(")")
@@ -158,8 +193,23 @@ class _Parser:
                           parameter=parameter, epsilon=epsilon,
                           transform_query=transform_query)
 
+    def _sim_query(self, relation: str) -> SimilarityQuery:
+        self._expect_symbol("(")
+        self._object_keyword()
+        self._expect_symbol(",")
+        parameter = self._parameter()
+        self._expect_symbol(")")
+        self._expect_symbol("<")
+        epsilon = self._number()
+        cost_bound = math.inf
+        if self._accept_keyword("COST"):
+            cost_bound = self._number()
+        self._end()
+        return SimilarityQuery(relation=relation, parameter=parameter,
+                               epsilon=epsilon, cost_bound=cost_bound)
+
     def _nn_query(self, relation: str) -> NearestNeighborQuery:
-        k = int(self._number())
+        k = self._positive_integer()
         self._expect_keyword("TO")
         parameter = self._parameter()
         transformation, transform_query = self._suffix()

@@ -1,7 +1,7 @@
 """Physical planning: choose how a similarity query will be executed.
 
-For each logical query the planner picks between an **index plan** (use the
-k-index registered for the relation, traversed under the query's
+For relations of time series the planner picks between an **index plan** (use
+the k-index registered for the relation, traversed under the query's
 transformation) and a **scan plan** (sequential scan with early abandoning).
 The choice rules encode the findings of the evaluation:
 
@@ -12,6 +12,20 @@ The choice rules encode the findings of the evaluation:
   the relation qualifies) are better served by the scan — the crossover the
   answer-set-size experiment measures; the planner uses a crude selectivity
   estimate based on the threshold relative to the spread of indexed points.
+
+Relations that registered a **distance provider** (any non-spatial domain —
+strings being the built-in example) are served by a third plan family, the
+**engine plans**: exact range/nearest-neighbour evaluation through the
+provider's metric (accelerated by a registered
+:class:`~repro.index.metric.MetricIndex` when one exists, since triangle
+inequality pruning needs a true metric), and bounded-cost ``SIM`` predicates
+through the generic :class:`~repro.core.similarity.SimilarityEngine` search.
+A ``SIM`` query must not prune with the metric index at radius ``epsilon`` —
+the transformation distance lies *below* the base distance — but when the
+provider declares that rule costs bound distance movement
+(``cost_bounds_distance``), screening candidates at the expanded radius
+``cost_bound + epsilon`` is admissible by the triangle inequality, and the
+planner uses the index for exactly that.
 
 The planner produces small plan dataclasses; the executor interprets them.
 An ``explain`` helper renders a plan as a one-line string for logging and for
@@ -26,7 +40,7 @@ import numpy as np
 
 from ..database import Database
 from ..errors import QueryPlanningError
-from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
 
 __all__ = [
     "Plan",
@@ -36,6 +50,9 @@ __all__ = [
     "ScanNearestPlan",
     "IndexJoinPlan",
     "ScanJoinPlan",
+    "EngineRangePlan",
+    "EngineNearestPlan",
+    "EngineJoinPlan",
     "Planner",
     "explain",
 ]
@@ -89,6 +106,32 @@ class ScanJoinPlan(Plan):
     early_abandon: bool = True
 
 
+@dataclass(frozen=True)
+class EngineRangePlan(Plan):
+    """Answer a range (or ``SIM``) query through the relation's distance provider.
+
+    ``index_name`` names the metric index supplying sublinear candidate sets
+    (``None`` → compare against every object).  ``via_engine`` marks a
+    bounded-cost ``SIM`` evaluation through the generic similarity engine
+    rather than the exact base distance.
+    """
+
+    index_name: str | None = None
+    via_engine: bool = False
+
+
+@dataclass(frozen=True)
+class EngineNearestPlan(Plan):
+    """Answer a nearest-neighbour query through the relation's distance provider."""
+
+    index_name: str | None = None
+
+
+@dataclass(frozen=True)
+class EngineJoinPlan(Plan):
+    """Answer an all-pairs query by comparing objects through the provider."""
+
+
 class Planner:
     """Chooses a physical plan given the database catalog.
 
@@ -115,12 +158,80 @@ class Planner:
         """
         if query.relation not in self.database:
             raise QueryPlanningError(f"unknown relation {query.relation!r}")
+        if self.database.has_distance_provider(query.relation):
+            return self._plan_provider(query, transformation)
+        if isinstance(query, SimilarityQuery):
+            raise QueryPlanningError(
+                f"relation {query.relation!r} has no distance provider; SIM queries "
+                "need one registered with Database.register_distance")
         if isinstance(query, RangeQuery):
             return self._plan_range(query, transformation)
         if isinstance(query, NearestNeighborQuery):
             return self._plan_nearest(query, transformation)
         if isinstance(query, AllPairsQuery):
             return self._plan_join(query, transformation)
+        raise QueryPlanningError(f"cannot plan query of type {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # provider-backed (domain-generic) planning
+    # ------------------------------------------------------------------
+    def _metric_index_name(self, relation: str) -> str | None:
+        """Name of a registered metric index usable for the relation, if any."""
+        for relation_name, index_name in self.database.indexes():
+            if relation_name == relation and \
+                    getattr(self.database.index(relation, index_name), "is_metric", False):
+                return index_name
+        return None
+
+    def _plan_provider(self, query: Query, transformation) -> Plan:
+        provider = self.database.distance_provider(query.relation)
+        if transformation is not None:
+            raise QueryPlanningError(
+                f"relation {query.relation!r} is compared through the distance "
+                f"provider {provider.name!r}; USING transformations only apply to "
+                "feature-space (time-series) relations")
+        if isinstance(query, SimilarityQuery):
+            if provider.rules is None:
+                raise QueryPlanningError(
+                    f"distance provider {provider.name!r} has no transformation "
+                    "rules; SIM queries need a rule set or rule factory")
+            index_name = None
+            if provider.cost_bounds_distance and np.isfinite(query.cost_bound):
+                # sim(x, q) requires distance(x, q) <= cost_bound + epsilon
+                # when rules move objects by at most their cost, so the
+                # metric index can screen candidates at the expanded radius.
+                index_name = self._metric_index_name(query.relation)
+            if index_name is not None:
+                return EngineRangePlan(
+                    query=query, via_engine=True, index_name=index_name,
+                    reason=(f"metric index {index_name!r} screens candidates at "
+                            "radius cost_bound + epsilon, then the similarity "
+                            "engine verifies each"))
+            return EngineRangePlan(
+                query=query, via_engine=True,
+                reason=(f"bounded-cost search through the similarity engine over "
+                        f"{provider.name!r} rules"))
+        index_name = self._metric_index_name(query.relation)
+        if isinstance(query, RangeQuery):
+            if index_name is not None:
+                return EngineRangePlan(
+                    query=query, index_name=index_name,
+                    reason=f"metric index {index_name!r} prunes by triangle inequality")
+            return EngineRangePlan(
+                query=query,
+                reason=f"no metric index; comparing every object through {provider.name!r}")
+        if isinstance(query, NearestNeighborQuery):
+            if index_name is not None:
+                return EngineNearestPlan(
+                    query=query, index_name=index_name,
+                    reason=f"metric index {index_name!r} prunes by triangle inequality")
+            return EngineNearestPlan(
+                query=query,
+                reason=f"no metric index; comparing every object through {provider.name!r}")
+        if isinstance(query, AllPairsQuery):
+            return EngineJoinPlan(
+                query=query,
+                reason=f"nested comparison of all pairs through {provider.name!r}")
         raise QueryPlanningError(f"cannot plan query of type {type(query).__name__}")
 
     # ------------------------------------------------------------------

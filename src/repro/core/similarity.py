@@ -217,7 +217,8 @@ class SimilarityEngine:
     # ------------------------------------------------------------------
     def similar(self, obj: Any, pattern: Pattern | Any, *, cost_bound: float,
                 epsilon: float = 0.0,
-                context: PatternContext | None = None) -> SimilarityResult:
+                context: PatternContext | None = None,
+                first_match: bool = False) -> SimilarityResult:
         """Evaluate ``sim(obj, pattern, rules, cost_bound)``.
 
         ``pattern`` may be a :class:`Pattern` or a raw object (wrapped in a
@@ -226,6 +227,13 @@ class SimilarityEngine:
         it into an object within ``epsilon`` (base distance) of a member of
         the pattern; for non-metric patterns the rewritten object must
         *match* the pattern.
+
+        ``first_match=True`` stops at the first match found.  States pop in
+        cost order, so that match has minimal transformation cost and is a
+        valid witness of the predicate — only its residual base distance (and
+        hence the reported ``distance``) may be improvable.  Predicate-style
+        callers (the query executor's ``SIM`` evaluation) use this to skip
+        the exhaustive tail of the search.
         """
         if not isinstance(pattern, Pattern):
             pattern = ConstantPattern(pattern)
@@ -260,7 +268,7 @@ class SimilarityEngine:
                 # Uniform-cost search pops states in cost order, so the first
                 # match is optimal in cost; keep searching only if a cheaper
                 # residual could still matter to callers comparing distances.
-                if residual <= 0.0:
+                if first_match or residual <= 0.0:
                     break
             if len(steps) >= self.max_steps_per_side:
                 continue

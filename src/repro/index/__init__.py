@@ -1,7 +1,8 @@
-"""Spatial indexing: R-tree family, the k-index, transformed search and scans."""
+"""Indexing: R-tree family, the k-index, the metric (VP) index, transformed search and scans."""
 
 from .geometry import Rect, mindist, mindist_batch, minmaxdist, overlap_matrix
 from .kindex import KIndex, NearestNeighborResult, QueryStatistics, RangeQueryResult
+from .metric import MetricIndex
 from .rstar import RStarTree
 from .rtree import NodeAccessStats, RTree, RTreeEntry, RTreeNode
 from .scan import SequentialScan
@@ -15,7 +16,7 @@ from .transformed import (
 
 __all__ = [
     "Rect", "mindist", "minmaxdist", "mindist_batch", "overlap_matrix",
-    "KIndex", "RangeQueryResult", "NearestNeighborResult", "QueryStatistics",
+    "KIndex", "MetricIndex", "RangeQueryResult", "NearestNeighborResult", "QueryStatistics",
     "RStarTree", "RTree", "RTreeEntry", "RTreeNode", "NodeAccessStats",
     "SequentialScan",
     "materialize_transformed_tree", "transformed_range_search",

@@ -32,7 +32,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..core.errors import IndexError_, UnsafeTransformationError
+from ..core.errors import DimensionMismatchError, IndexError_, UnsafeTransformationError
 from ..core.objects import FeatureVector
 from ..core.spaces import PolarSpace
 from ..core.transformations import LinearTransformation, RealLinearTransformation
@@ -230,6 +230,12 @@ class KIndex:
         if transformation is None:
             return features.full_coefficients, features.mean, features.std
         available = features.full_coefficients.shape[0]
+        if transformation.multiplier.shape[0] < 1 + available:
+            raise DimensionMismatchError(
+                f"transformation {transformation.name!r} covers "
+                f"{transformation.multiplier.shape[0]} spectral coefficients but the "
+                f"stored record has {available} (plus DC); rebuild the transformation "
+                "for the relation's series length")
         multiplier = transformation.multiplier[1:1 + available]
         offset = transformation.offset[1:1 + available]
         coefficients = features.full_coefficients * multiplier + offset

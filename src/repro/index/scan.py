@@ -23,6 +23,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..core.errors import DimensionMismatchError
 from ..storage.pages import PageStore
 from ..timeseries.features import SeriesFeatureExtractor, SeriesFeatures
 from ..timeseries.series import TimeSeries
@@ -85,6 +86,12 @@ class SequentialScan:
         if transformation is None:
             return features.full_coefficients, features.mean, features.std
         available = features.full_coefficients.shape[0]
+        if transformation.multiplier.shape[0] < 1 + available:
+            raise DimensionMismatchError(
+                f"transformation {transformation.name!r} covers "
+                f"{transformation.multiplier.shape[0]} spectral coefficients but the "
+                f"stored record has {available} (plus DC); rebuild the transformation "
+                "for the relation's series length")
         coefficients = (features.full_coefficients
                         * transformation.multiplier[1:1 + available]
                         + transformation.offset[1:1 + available])
@@ -197,8 +204,6 @@ class SequentialScan:
             for series_b, record_b in transformed[i + 1:]:
                 stats.postprocessed += 1
                 distance = self._distance(record_a, record_b, threshold)
-                if distance is None and threshold is None:
-                    continue
                 if distance is not None and distance <= epsilon:
                     pairs.append((series_a, series_b, distance))
         stats.candidates = stats.postprocessed

@@ -10,10 +10,11 @@ from .edit_transforms import (
     edit_rule_set,
 )
 from .objects import StringObject
+from .provider import edit_distance_provider
 
 __all__ = [
     "StringObject",
     "weighted_edit_distance", "transformation_edit_distance", "hamming_distance",
     "DeleteCharacter", "InsertCharacter", "SubstituteCharacter", "TransposeAdjacent",
-    "TargetedEditExpander", "edit_rule_set",
+    "TargetedEditExpander", "edit_rule_set", "edit_distance_provider",
 ]

@@ -1,0 +1,53 @@
+"""Plugging the string domain into the query language.
+
+:func:`edit_distance_provider` packages the weighted edit distance and the
+target-guided edit rule factory as a
+:class:`~repro.core.database.DistanceProvider`, which is all a relation of
+:class:`~repro.strings.objects.StringObject` needs to become queryable::
+
+    database.create_relation("words", [StringObject(w) for w in words])
+    database.register_distance("words", edit_distance_provider())
+    engine.execute("SELECT FROM words WHERE dist(object, $q) < 1.5",
+                   parameters={"q": StringObject("pattern")})
+
+The weighted edit distance is a metric whenever the three costs are symmetric
+in the usual sense (it always satisfies the triangle inequality, since edit
+scripts compose), so the relation can additionally register a
+:class:`~repro.index.metric.MetricIndex` for sublinear range and
+nearest-neighbour search.
+"""
+
+from __future__ import annotations
+
+from ..core.database import DistanceProvider
+from ..core.rules import TransformationRuleSet
+from .distance import weighted_edit_distance
+from .edit_transforms import edit_rule_set
+from .objects import StringObject
+
+__all__ = ["edit_distance_provider"]
+
+
+def edit_distance_provider(*, insert_cost: float = 1.0, delete_cost: float = 1.0,
+                           substitute_cost: float = 1.0) -> DistanceProvider:
+    """A provider comparing strings by weighted edit distance.
+
+    The rule factory generates the single-edit transformations useful between
+    a concrete (source, target) pair — the lazily-expanded frontier of
+    :func:`~repro.strings.edit_transforms.edit_rule_set` — so ``SIM`` queries
+    run the generic bounded-cost search without an alphabet-sized blowup.
+    """
+
+    def distance(a: StringObject | str, b: StringObject | str) -> float:
+        return weighted_edit_distance(a, b, insert_cost=insert_cost,
+                                      delete_cost=delete_cost,
+                                      substitute_cost=substitute_cost)
+
+    def rules(source: StringObject | str, target: StringObject | str) -> TransformationRuleSet:
+        return edit_rule_set(source, target, insert_cost=insert_cost,
+                             delete_cost=delete_cost, substitute_cost=substitute_cost)
+
+    # Single edits move a string by at most their cost under the edit
+    # distance, so SIM candidates can be screened by the base distance.
+    return DistanceProvider(distance=distance, rules=rules, cost_bounds_distance=True,
+                            name="weighted_edit_distance")

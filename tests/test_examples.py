@@ -22,7 +22,8 @@ def _load(name: str):
 
 def test_examples_directory_complete():
     expected = {"quickstart.py", "stock_analysis.py", "time_warping.py",
-                "string_similarity.py", "index_vs_scan.py"}
+                "string_similarity.py", "index_vs_scan.py", "batched_queries.py",
+                "string_queries.py"}
     assert expected <= {path.name for path in EXAMPLES_DIR.glob("*.py")}
 
 
@@ -67,6 +68,15 @@ def test_batched_queries_runs(capsys):
     output = capsys.readouterr().out
     assert "all three agree: True" in output
     assert "from_cache: True" in output
+    assert "after insert, served from cache: False" in output
+
+
+def test_string_queries_runs(capsys):
+    module = _load("string_queries")
+    module.main()
+    output = capsys.readouterr().out
+    assert "answers identical: True" in output
+    assert "repeated batch served from cache: True" in output
     assert "after insert, served from cache: False" in output
 
 

@@ -55,15 +55,50 @@ class TestParser:
         assert query == AllPairsQuery(relation="prices", transformation="mavg20",
                                       epsilon=3.0)
 
+    def test_parse_object_keyword_is_domain_neutral(self):
+        neutral = parse("SELECT FROM words WHERE dist(object, $q) < 2.5")
+        legacy = parse("SELECT FROM words WHERE dist(series, $q) < 2.5")
+        assert neutral == legacy
+
+    @pytest.mark.parametrize("literal,expected", [
+        (".5", 0.5), ("1e-3", 0.001), ("2.5E+4", 25000.0), ("3.", 3.0), ("7", 7.0),
+    ])
+    def test_number_literal_forms(self, literal, expected):
+        query = parse(f"SELECT FROM r WHERE dist(series, $q) < {literal}")
+        assert query.epsilon == expected
+
+    def test_parse_sim_query(self):
+        from repro.core.query.ast import SimilarityQuery
+        query = parse("SELECT FROM words WHERE sim(object, $q) < 0.5 COST 2")
+        assert query == SimilarityQuery(relation="words", parameter="q",
+                                        epsilon=0.5, cost_bound=2.0)
+        unbounded = parse("SELECT FROM words WHERE sim(object, $q) < 0.5")
+        assert unbounded.cost_bound == float("inf")
+
+    def test_nearest_rejects_fractional_k(self):
+        # Regression: `NEAREST 2.5` used to silently truncate k to 2.
+        with pytest.raises(QuerySyntaxError):
+            parse("SELECT FROM r NEAREST 2.5 TO $q")
+
+    def test_nearest_rejects_non_positive_k(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("SELECT FROM r NEAREST 0 TO $q")
+
+    def test_nearest_accepts_exponent_integer(self):
+        assert parse("SELECT FROM r NEAREST 1e2 TO $q").k == 100
+
     @pytest.mark.parametrize("text", [
         "",
         "SELECT prices",
         "SELECT FROM prices",
         "SELECT FROM prices WHERE dist(series q) < 1",
         "SELECT FROM prices WHERE dist(series, $q) < abc",
+        "SELECT FROM prices WHERE dist(thing, $q) < 1",
         "SELECT FROM prices NEAREST x TO $q",
         "SELECT FROM prices WHERE dist(series, $q) < 1 trailing",
         "SELECT PAIRS FROM prices WHERE dist < 1 USING",
+        "SELECT FROM words WHERE sim(object, $q) < 1 COST",
+        "SELECT FROM words WHERE sim(object) < 1",
     ])
     def test_syntax_errors(self, text):
         with pytest.raises(QuerySyntaxError):
@@ -196,3 +231,47 @@ class TestQueryEngine:
             "SELECT FROM prices WHERE dist(series, $q) < 2.0 USING mavg5",
             parameters={"q": data[2]})
         assert len(outcome) >= 1
+
+
+class TestScanCacheLifecycle:
+    """Regressions: materialised scans must not outlive their relations."""
+
+    def _scan_engine(self, data):
+        database = Database()
+        database.create_relation("walks", data[:20])
+        return database, QueryEngine(database)
+
+    def test_drop_relation_hook_evicts_scan(self, engine_setup):
+        data, _, _ = engine_setup
+        database, engine = self._scan_engine(data)
+        engine.execute("SELECT FROM walks WHERE dist(series, $q) < 2.0",
+                       parameters={"q": data[0]})
+        assert "walks" in engine._scans
+        engine.drop_relation("walks")
+        assert "walks" not in engine._scans
+        assert "walks" not in database
+
+    def test_drop_recreate_churn_does_not_leak_scans(self, engine_setup):
+        data, _, _ = engine_setup
+        database, engine = self._scan_engine(data)
+        query = "SELECT FROM walks WHERE dist(series, $q) < 2.0"
+        reference = engine.execute(query, parameters={"q": data[0]})
+        for round_number in range(5):
+            database.drop_relation("walks")
+            database.create_relation("walks", data[:20])
+            outcome = engine.execute(query, parameters={"q": data[0]})
+            assert sorted(s.object_id for s, _ in outcome.answers) == \
+                sorted(s.object_id for s, _ in reference.answers)
+            assert len(engine._scans) == 1
+
+    def test_dropped_relation_scan_evicted_on_other_relation_miss(self, engine_setup):
+        data, _, _ = engine_setup
+        database, engine = self._scan_engine(data)
+        database.create_relation("other", data[20:40])
+        engine.execute("SELECT FROM walks WHERE dist(series, $q) < 2.0",
+                       parameters={"q": data[0]})
+        database.drop_relation("walks")
+        # Building the scan for a different relation purges the stale entry.
+        engine.execute("SELECT FROM other WHERE dist(series, $q) < 2.0",
+                       parameters={"q": data[21]})
+        assert set(engine._scans) == {"other"}

@@ -75,6 +75,38 @@ class TestScanQueries:
                                + (record[2] - query_record[2]) ** 2)
             assert distance == pytest.approx(float(expected), rel=1e-9)
 
+    def test_short_transformation_raises_clear_error(self, walk_collection):
+        """Regression: a transformation built for a shorter series length
+        used to surface as a raw numpy broadcast error mid-scan."""
+        from repro.core.errors import DimensionMismatchError
+        scan = SequentialScan()
+        scan.extend(walk_collection[:5])  # length-64 series
+        too_short = moving_average_spectral(16, 4)
+        with pytest.raises(DimensionMismatchError, match="spectral coefficients"):
+            scan.range_query(walk_collection[0], 1.0, transformation=too_short)
+
+    def test_short_transformation_raises_clear_error_in_kindex(self, walk_collection):
+        """The same guard protects the index path's full-record postprocessing."""
+        from repro.core.errors import DimensionMismatchError
+        from repro.index.kindex import KIndex
+        index = KIndex(SeriesFeatureExtractor(2))
+        index.extend(walk_collection[:5])
+        too_short = moving_average_spectral(16, 4)
+        with pytest.raises(DimensionMismatchError, match="spectral coefficients"):
+            index.range_query(walk_collection[0], 1.0, transformation=too_short)
+
+    def test_all_pairs_distances_reported_for_answers(self):
+        """Regression companion to removing the dead `distance is None and
+        threshold is None` branch: every reported pair carries its distance
+        and respects the threshold, with and without early abandoning."""
+        data = random_walk_collection(15, 32, seed=12)
+        scan = SequentialScan()
+        scan.extend(data)
+        for early_abandon in (True, False):
+            pairs, _ = scan.all_pairs(4.0, early_abandon=early_abandon)
+            assert all(distance <= 4.0 for _, _, distance in pairs)
+            assert all(np.isfinite(distance) for _, _, distance in pairs)
+
     def test_page_store_charged_per_query(self):
         store = PageStore()
         scan = SequentialScan(page_store=store, records_per_page=4)
