@@ -2,9 +2,10 @@
 
 Two claims are measured:
 
-* ``QueryEngine.execute_many`` answers a batch of range queries at least
-  twice as fast as looping over ``execute`` (shared vectorised traversal,
-  vectorised postprocessing, amortised planning);
+* a prepared statement's ``run_many`` answers a batch of range queries at
+  least twice as fast as looping over single ``run`` calls (shared vectorised
+  traversal, vectorised postprocessing; parsing and planning are amortised by
+  the prepared statement on *both* sides, so the gap is pure batching);
 * the Sort-Tile-Recursive bulk loader produces a tree that needs no more
   node accesses per range query than the insert-built tree.
 
@@ -22,8 +23,7 @@ import time
 
 import pytest
 
-from repro.core.database import Database
-from repro.core.query.executor import QueryEngine
+from repro.core.session import Session, connect
 from repro.index.kindex import KIndex
 from repro.timeseries.features import SeriesFeatureExtractor
 from repro.timeseries.generators import random_walk_collection
@@ -35,19 +35,17 @@ def _make_extractor() -> SeriesFeatureExtractor:
     return SeriesFeatureExtractor(num_coefficients=2, representation="polar")
 
 
-def _make_engine(data, *, bulk_load: bool, max_entries: int = 16,
-                 answer_cache_size: int = 0) -> QueryEngine:
-    """An engine over one relation of ``data``; answer cache off by default
+def _make_session(data, *, bulk_load: bool, max_entries: int = 16,
+                  answer_cache_size: int = 0) -> Session:
+    """A session over one relation of ``data``; answer cache off by default
     so throughput numbers measure execution, not memoisation."""
-    database = Database()
-    database.create_relation("walks", data)
+    session = connect(answer_cache_size=answer_cache_size)
     if bulk_load:
         index = KIndex.bulk_load(data, _make_extractor(), max_entries=max_entries)
     else:
         index = KIndex(_make_extractor(), max_entries=max_entries)
-        index.extend(data)
-    database.register_index("walks", index)
-    return QueryEngine(database, answer_cache_size=answer_cache_size)
+    session.relation("walks").insert_many(data).with_index(index)
+    return session
 
 
 def _workload(num_series: int, length: int, num_queries: int):
@@ -61,23 +59,23 @@ def _workload(num_series: int, length: int, num_queries: int):
 @pytest.fixture(scope="module")
 def batch_setup():
     data, queries = _workload(1500, 128, 64)
-    engine = _make_engine(data, bulk_load=True)
+    session = _make_session(data, bulk_load=True)
     epsilon = 4.0
-    text = RANGE_TEXT.format(epsilon=epsilon)
+    prepared = session.prepare(RANGE_TEXT.format(epsilon=epsilon))
     bindings = [{"q": series} for series in queries]
-    return engine, text, bindings
+    return prepared, bindings
 
 
 @pytest.mark.benchmark(group="batch-throughput")
-def bench_looped_execute(benchmark, batch_setup):
-    engine, text, bindings = batch_setup
-    benchmark(lambda: [engine.execute(text, binding) for binding in bindings])
+def bench_looped_run(benchmark, batch_setup):
+    prepared, bindings = batch_setup
+    benchmark(lambda: [prepared.run(binding) for binding in bindings])
 
 
 @pytest.mark.benchmark(group="batch-throughput")
-def bench_execute_many(benchmark, batch_setup):
-    engine, text, bindings = batch_setup
-    benchmark(lambda: engine.execute_many([text] * len(bindings), bindings))
+def bench_run_many(benchmark, batch_setup):
+    prepared, bindings = batch_setup
+    benchmark(lambda: prepared.run_many(bindings))
 
 
 @pytest.mark.benchmark(group="bulk-load")
@@ -110,33 +108,36 @@ def run_comparison(num_series: int = 1500, length: int = 128,
     text = RANGE_TEXT.format(epsilon=epsilon)
     bindings = [{"q": series} for series in queries]
 
-    engine = _make_engine(data, bulk_load=True)
+    session = _make_session(data, bulk_load=True)
+    prepared = session.prepare(text)
     # Warm both paths once (numpy dispatch, feature extraction code paths).
-    engine.execute(text, bindings[0])
-    engine.execute_many([text] * 2, bindings[:2])
+    prepared.run(bindings[0])
+    prepared.run_many(bindings[:2])
 
     started = time.perf_counter()
-    looped_outcomes = [engine.execute(text, binding) for binding in bindings]
+    looped_outcomes = [prepared.run(binding) for binding in bindings]
     looped_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    batched_outcomes = engine.execute_many([text] * len(bindings), bindings)
+    batched_outcomes = prepared.run_many(bindings)
     batched_seconds = time.perf_counter() - started
+    planner_invocations = session.engine.planner.invocations
 
     mismatched = sum(
         1 for single, member in zip(looped_outcomes, batched_outcomes)
         if sorted(s.object_id for s, _ in single.answers)
         != sorted(s.object_id for s, _ in member.answers))
 
-    cached_engine = _make_engine(data, bulk_load=True, answer_cache_size=1024)
-    cached_engine.execute_many([text] * len(bindings), bindings)
+    cached_session = _make_session(data, bulk_load=True, answer_cache_size=1024)
+    cached_prepared = cached_session.prepare(text)
+    cached_prepared.run_many(bindings)
     started = time.perf_counter()
-    cached_outcomes = cached_engine.execute_many([text] * len(bindings), bindings)
+    cached_outcomes = cached_prepared.run_many(bindings)
     cached_seconds = time.perf_counter() - started
 
-    insert_engine = _make_engine(data, bulk_load=False)
-    insert_index = insert_engine.database.index("walks")
-    str_index = engine.database.index("walks")
+    insert_session = _make_session(data, bulk_load=False)
+    insert_index = insert_session.database.index("walks")
+    str_index = session.database.index("walks")
     insert_accesses = sum(
         insert_index.range_query(query, epsilon).statistics.node_accesses
         for query in queries) / len(queries)
@@ -152,6 +153,7 @@ def run_comparison(num_series: int = 1500, length: int = 128,
         "speedup": looped_seconds / batched_seconds if batched_seconds else float("inf"),
         "cached_qps": _rate(cached_seconds, len(bindings)),
         "cache_hits": all(outcome.from_cache for outcome in cached_outcomes),
+        "planner_invocations": planner_invocations,
         "mismatched_answers": mismatched,
         "insert_accesses_per_query": insert_accesses,
         "str_accesses_per_query": str_accesses,
@@ -182,12 +184,14 @@ def main(argv: list[str] | None = None) -> int:
     numbers = run_comparison(arguments.series, arguments.length,
                              arguments.queries, arguments.epsilon)
     print(f"== batch throughput ({numbers['num_queries']} range queries over "
-          f"{numbers['num_series']} series) ==")
-    print(f"looped execute      : {numbers['looped_qps']:10.1f} queries/s")
-    print(f"execute_many        : {numbers['batched_qps']:10.1f} queries/s "
+          f"{numbers['num_series']} series, prepared statement) ==")
+    print(f"looped run          : {numbers['looped_qps']:10.1f} queries/s")
+    print(f"run_many            : {numbers['batched_qps']:10.1f} queries/s "
           f"({numbers['speedup']:.2f}x)")
-    print(f"execute_many cached : {numbers['cached_qps']:10.1f} queries/s "
+    print(f"run_many cached     : {numbers['cached_qps']:10.1f} queries/s "
           f"(all hits: {numbers['cache_hits']})")
+    print(f"planner invocations : {numbers['planner_invocations']:10d} "
+          f"(prepared: planned once per catalog state)")
     print(f"mismatched answers  : {numbers['mismatched_answers']}")
     print("== node accesses per range query ==")
     print(f"insert-built tree   : {numbers['insert_accesses_per_query']:10.2f}")

@@ -23,8 +23,7 @@ import time
 
 import pytest
 
-from repro.core.database import Database
-from repro.core.query.executor import QueryEngine
+from repro.core.session import Session, connect
 from repro.index.metric import MetricIndex
 from repro.strings import StringObject, edit_distance_provider
 
@@ -65,17 +64,14 @@ def _word_collection(count: int, seed: int = 29) -> list[StringObject]:
     return words
 
 
-def _make_engine(words: list[StringObject], *, with_index: bool,
-                 answer_cache_size: int = 0) -> QueryEngine:
-    database = Database()
-    database.create_relation("words", words)
+def _make_session(words: list[StringObject], *, with_index: bool,
+                  answer_cache_size: int = 0) -> Session:
+    session = connect(answer_cache_size=answer_cache_size)
     provider = edit_distance_provider()
-    database.register_distance("words", provider)
+    handle = session.relation("words").insert_many(words).with_distance(provider)
     if with_index:
-        index = MetricIndex(provider.distance, leaf_capacity=8)
-        index.extend(words)
-        database.register_index("words", index)
-    return QueryEngine(database, answer_cache_size=answer_cache_size)
+        handle.with_index(MetricIndex(provider.distance, leaf_capacity=8))
+    return session
 
 
 def _workload(num_words: int, num_queries: int) -> tuple[list[StringObject],
@@ -101,16 +97,16 @@ def metric_setup():
 @pytest.mark.benchmark(group="metric-index")
 def bench_brute_force_scan(benchmark, metric_setup):
     words, text, bindings = metric_setup
-    engine = _make_engine(words, with_index=False)
-    benchmark(lambda: engine.execute_many([text] * len(bindings), bindings))
+    prepared = _make_session(words, with_index=False).prepare(text)
+    benchmark(lambda: prepared.run_many(bindings))
 
 
 @pytest.mark.benchmark(group="metric-index")
 def bench_metric_index(benchmark, metric_setup):
     words, text, bindings = metric_setup
-    engine = _make_engine(words, with_index=True)
-    engine.execute(text, bindings[0])  # build the tree outside the measured region
-    benchmark(lambda: engine.execute_many([text] * len(bindings), bindings))
+    prepared = _make_session(words, with_index=True).prepare(text)
+    prepared.run(bindings[0])  # build the tree outside the measured region
+    benchmark(lambda: prepared.run_many(bindings))
 
 
 # ----------------------------------------------------------------------
@@ -123,16 +119,16 @@ def run_comparison(num_words: int = 800, num_queries: int = 32,
     text = RANGE_TEXT.format(epsilon=epsilon)
     bindings = [{"q": query} for query in queries]
 
-    brute_engine = _make_engine(words, with_index=False)
-    metric_engine = _make_engine(words, with_index=True)
-    metric_engine.execute(text, bindings[0])  # build the tree up front
+    brute_prepared = _make_session(words, with_index=False).prepare(text)
+    metric_prepared = _make_session(words, with_index=True).prepare(text)
+    metric_prepared.run(bindings[0])  # build the tree up front
 
     started = time.perf_counter()
-    brute_outcomes = brute_engine.execute_many([text] * len(bindings), bindings)
+    brute_outcomes = brute_prepared.run_many(bindings)
     brute_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    metric_outcomes = metric_engine.execute_many([text] * len(bindings), bindings)
+    metric_outcomes = metric_prepared.run_many(bindings)
     metric_seconds = time.perf_counter() - started
 
     mismatched = sum(

@@ -1,26 +1,29 @@
-"""Batched execution: bulk-load an index, run many queries in one call.
+"""Batched execution: bulk-load an index, prepare once, run many bindings.
 
 Run with::
 
     python examples/batched_queries.py
 
 The script bulk-loads a relation of random-walk series with the
-Sort-Tile-Recursive loader, then answers the same 32-query range workload
-three ways:
+Sort-Tile-Recursive loader, prepares one parameterised range query, then
+answers the same 32-binding workload three ways:
 
-1. looping over ``QueryEngine.execute`` (one traversal per query),
-2. one ``QueryEngine.execute_many`` call (one shared, vectorised traversal),
-3. ``execute_many`` again with warm caches (answers served without touching
+1. looping over ``prepared.run`` (one traversal per binding),
+2. one ``prepared.run_many`` call (one shared, vectorised traversal),
+3. ``run_many`` again with warm caches (answers served without touching
    the index at all),
 
-verifying along the way that all three produce identical answers.
+verifying along the way that all three produce identical answers — and that
+the planner ran exactly once for the whole workload (the prepared statement
+re-plans only when the catalog changes).
 """
 
 from __future__ import annotations
 
 import time
 
-from repro import Database, KIndex, QueryEngine, SeriesFeatureExtractor, random_walk_collection
+import repro
+from repro import KIndex, Q, SeriesFeatureExtractor, random_walk_collection
 
 LENGTH = 128
 NUM_SERIES = 800
@@ -32,30 +35,34 @@ def main() -> None:
     data = random_walk_collection(NUM_SERIES, LENGTH, seed=2026)
     extractor = SeriesFeatureExtractor(num_coefficients=2, representation="polar")
 
-    # Bulk-load the index bottom-up instead of inserting one series at a time.
+    # Bulk-load the index bottom-up instead of inserting one series at a time;
+    # one chain creates the relation, loads it and registers the index.
     index = KIndex.bulk_load(data, extractor, max_entries=16)
-    database = Database()
-    database.create_relation("walks", data)
-    database.register_index("walks", index)
-    engine = QueryEngine(database)
+    session = repro.connect()
+    walks = session.relation("walks").insert_many(data).with_index(index)
 
-    text = f"SELECT FROM walks WHERE dist(series, $q) < {EPSILON}"
+    # The fluent builder compiles to the same AST the textual parser
+    # produces — this is "SELECT FROM walks WHERE dist(series, $q) < 4.0".
+    prepared = session.prepare(Q.from_("walks").within(EPSILON).of(Q.param("q")))
     bindings = [{"q": series} for series in data[:NUM_QUERIES]]
 
-    print(f"bulk-loaded {len(index)} series; tree height "
-          f"{index.tree.height()}, {len(index.tree._nodes)} nodes\n")
+    print(f"bulk-loaded {len(walks)} series; tree height "
+          f"{index.tree.height()}, {len(index.tree._nodes)} nodes")
+    print(f"prepared: {prepared.text}\n")
 
     started = time.perf_counter()
-    looped = [engine.execute(text, binding) for binding in bindings]
+    looped = [prepared.run(binding) for binding in bindings]
     looped_seconds = time.perf_counter() - started
-    engine.clear_caches()
+    # Drop the memoised answers (but not the plan) so run_many measures real
+    # execution rather than answer-cache hits.
+    session.answer_cache.clear()
 
     started = time.perf_counter()
-    batched = engine.execute_many([text] * NUM_QUERIES, bindings)
+    batched = prepared.run_many(bindings)
     batched_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    cached = engine.execute_many([text] * NUM_QUERIES, bindings)
+    cached = prepared.run_many(bindings)
     cached_seconds = time.perf_counter() - started
 
     agree = all(
@@ -63,18 +70,21 @@ def main() -> None:
         == sorted(s.object_id for s, _ in b.answers)
         == sorted(s.object_id for s, _ in c.answers)
         for a, b, c in zip(looped, batched, cached))
-    print(f"looped execute : {looped_seconds * 1000:7.1f} ms")
-    print(f"execute_many   : {batched_seconds * 1000:7.1f} ms "
+    print(f"looped run     : {looped_seconds * 1000:7.1f} ms")
+    print(f"run_many       : {batched_seconds * 1000:7.1f} ms "
           f"({looped_seconds / batched_seconds:.1f}x faster)")
     print(f"warm caches    : {cached_seconds * 1000:7.1f} ms "
           f"(from_cache: {all(o.from_cache for o in cached)})")
     print(f"all three agree: {agree}")
-    print(f"plan cache     : {engine.plan_cache}")
-    print(f"answer cache   : {engine.answer_cache}")
+    print(f"planner ran    : {session.engine.planner.invocations} time(s) "
+          f"for {3 * NUM_QUERIES} executions")
+    print(f"plan cache     : {session.plan_cache}")
+    print(f"answer cache   : {session.answer_cache}")
 
-    # Mutating the relation invalidates cached answers automatically.
-    database.relation("walks").insert(random_walk_collection(1, LENGTH, seed=7)[0])
-    refreshed = engine.execute(text, bindings[0])
+    # Mutating the relation invalidates cached answers automatically, and the
+    # prepared statement transparently re-plans against the new catalog state.
+    walks.insert(random_walk_collection(1, LENGTH, seed=7)[0])
+    refreshed = prepared.run(bindings[0])
     print(f"after insert, served from cache: {refreshed.from_cache}")
 
 

@@ -17,10 +17,10 @@ longer available, so a statistically similar one is generated):
 
 from __future__ import annotations
 
+import repro
 from repro import (
-    Database,
     KIndex,
-    QueryEngine,
+    Q,
     SeriesFeatureExtractor,
     StockArchiveConfig,
     make_stock_archive,
@@ -66,17 +66,18 @@ def hedging_example(archive, index: KIndex) -> None:
 
 def screening_example(archive) -> None:
     print("-- All-pairs screening through the query language")
-    database = Database("stocks")
-    relation = database.create_relation("prices", archive)
+    session = repro.connect()
     # Shape-only screening: drop the mean/std dimensions so that price level
-    # and volatility do not dominate the pair distances.
-    index = KIndex(SeriesFeatureExtractor(num_coefficients=2, include_stats=False))
-    index.extend(relation)
-    database.register_index("prices", index)
-    engine = QueryEngine(database)
-    engine.register_transformation("mavg20", moving_average_spectral(LENGTH, WINDOW))
+    # and volatility do not dominate the pair distances.  One chain creates
+    # the relation, loads it and registers the index.
+    (session.relation("prices")
+        .insert_many(archive)
+        .with_index(KIndex(SeriesFeatureExtractor(num_coefficients=2,
+                                                  include_stats=False))))
+    session.with_transformation("mavg20", moving_average_spectral(LENGTH, WINDOW))
 
-    outcome = engine.execute("SELECT PAIRS FROM prices WHERE dist < 1.5 USING mavg20")
+    # The fluent form of "SELECT PAIRS FROM prices WHERE dist < 1.5 USING mavg20".
+    outcome = session.sql(Q.from_("prices").pairs_within(1.5).under("mavg20"))
     print(f"   plan     : {type(outcome.plan).__name__} ({outcome.plan.reason})")
     print(f"   answers  : {len(outcome)} ordered pairs within 1.5 after smoothing")
     for series_a, series_b, distance in outcome.answers[:5]:

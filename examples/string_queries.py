@@ -6,8 +6,8 @@ Run with::
 
 The PODS'95 framework is domain independent — similarity is "the cheapest
 transformation sequence", whatever the objects are.  This script queries a
-relation of *strings* through the same textual query language the time-series
-examples use:
+relation of *strings* through the session front door, mixing the textual
+query language with the fluent ``Q`` builder (both compile to the same AST):
 
 1. ``DIST(OBJECT, $q) < eps`` — exact edit-distance range search, answered
    brute force first, then through a registered metric (VP-tree) index whose
@@ -18,12 +18,14 @@ examples use:
    transformation rules (with the metric index screening candidates at
    radius ``c + eps``);
 
-plus the batching and answer-cache machinery shared with every other domain.
+plus the prepared-statement, batching and answer-cache machinery shared with
+every other domain.
 """
 
 from __future__ import annotations
 
-from repro import Database, MetricIndex, QueryEngine, StringObject, explain
+import repro
+from repro import MetricIndex, Q, StringObject
 from repro.strings import edit_distance_provider
 
 DICTIONARY = [
@@ -34,63 +36,63 @@ DICTIONARY = [
     "similarity", "similarities", "singularity", "regularity", "popularity",
     "transformation", "transformations", "conformation", "information",
 ]
-NUM_QUERIES = 3
 
 
 def main() -> None:
-    database = Database("text")
-    database.create_relation("words", [StringObject(word) for word in DICTIONARY])
+    session = repro.connect()
     provider = edit_distance_provider()
-    database.register_distance("words", provider)
-    engine = QueryEngine(database)
+    words = (session.relation("words")
+             .insert_many(StringObject(word) for word in DICTIONARY)
+             .with_distance(provider))
 
     query = StringObject("pattern")
-    range_text = "SELECT FROM words WHERE dist(object, $q) < 2"
+    range_query = Q.from_("words").within(2.0).of(Q.param("q"))
 
     # 1a. No index yet: every word's exact distance is computed.
-    brute = engine.execute(range_text, parameters={"q": query})
-    print(explain(brute.plan))
+    brute = session.sql(range_query, q=query)
+    print(session.explain(range_query))
     print(f"  answers: {[(obj.text, d) for obj, d in brute.answers]}")
     print(f"  exact distances computed: {brute.statistics.postprocessed} "
           f"(relation size {len(DICTIONARY)})\n")
 
-    # 1b. Register a metric index; the planner switches automatically.
-    index = MetricIndex(provider.distance, leaf_capacity=4)
-    index.extend(database.relation("words"))
-    database.register_index("words", index)
-    indexed = engine.execute(range_text, parameters={"q": query})
-    print(explain(indexed.plan))
+    # 1b. Register a metric index; the planner switches automatically (the
+    #     handle loads the empty index from the relation's objects).
+    words.with_index(MetricIndex(provider.distance, leaf_capacity=4))
+    indexed = session.sql(range_query, q=query)
+    print(session.explain(range_query))
     print(f"  answers identical: "
           f"{sorted((o.text, d) for o, d in indexed.answers) == sorted((o.text, d) for o, d in brute.answers)}")
     print(f"  exact distances computed: {indexed.statistics.postprocessed} "
           f"(triangle inequality pruned "
           f"{len(DICTIONARY) - indexed.statistics.postprocessed})\n")
 
-    # 2. Nearest neighbours under the edit distance.
-    nearest = engine.execute("SELECT FROM words NEAREST 4 TO $q",
-                             parameters={"q": StringObject("petter")})
-    print(explain(nearest.plan))
+    # 2. Nearest neighbours under the edit distance — textual form this time;
+    #    text and builder share plans and caches because they share the AST.
+    nearest = session.sql("SELECT FROM words NEAREST 4 TO $q",
+                          q=StringObject("petter"))
+    print(session.explain("SELECT FROM words NEAREST 4 TO $q"))
     print(f"  nearest to 'petter': {[(o.text, d) for o, d in nearest.answers]}\n")
 
     # 3. The bounded-cost similarity predicate: words reachable from a
     #    dictionary entry by edits of total cost at most 2.
-    similar = engine.execute("SELECT FROM words WHERE sim(object, $q) < 0.5 COST 2",
-                             parameters={"q": query})
-    print(explain(similar.plan))
+    sim_query = Q.from_("words").similar_to(Q.param("q"), epsilon=0.5, cost=2.0)
+    similar = session.sql(sim_query, q=query)
+    print(session.explain(sim_query))
     print(f"  within cost 2 of 'pattern': {[(o.text, d) for o, d in similar.answers]}\n")
 
-    # Batching and the answer cache work exactly as for time series.
+    # Prepared statements batch bindings through one shared traversal and
+    # probe the answer cache per binding.
+    prepared = session.prepare(range_query)
     bindings = [{"q": StringObject(text)} for text in ("pattern", "berry", "stern")]
-    engine.execute_many([range_text] * NUM_QUERIES, bindings)
-    cached = engine.execute_many([range_text] * NUM_QUERIES, bindings)
+    prepared.run_many(bindings)
+    cached = prepared.run_many(bindings)
     print(f"repeated batch served from cache: "
           f"{all(outcome.from_cache for outcome in cached)}")
 
-    # Mutating the relation (and index) invalidates cached answers.
-    newcomer = StringObject("pattern")
-    database.relation("words").insert(newcomer)
-    index.insert(newcomer)
-    after = engine.execute(range_text, parameters={"q": query})
+    # Inserting through the handle updates the metric index too, and
+    # invalidates cached answers over the relation.
+    words.insert(StringObject("pattern"))
+    after = prepared.run(q=query)
     print(f"after insert, served from cache: {after.from_cache} "
           f"(answers now {len(after.answers)}, were {len(indexed.answers)})")
 

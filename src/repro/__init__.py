@@ -9,14 +9,27 @@ physical index under any safe transformation.
 
 Quickstart
 ----------
->>> from repro import KIndex, moving_average_spectral, random_walk_collection
+The front door is a :class:`~repro.core.session.Session` (``repro.connect``):
+it owns the catalog, the transformation registry, the plan/answer caches and
+the execution engine.  Queries are written as text, as a fluent ``Q`` chain,
+or prepared once and run many times:
+
+>>> import repro
+>>> from repro import KIndex, Q, moving_average_spectral, random_walk_collection
 >>> data = random_walk_collection(200, 128, seed=7)
->>> index = KIndex()
->>> index.extend(data)
->>> result = index.range_query(data[0], epsilon=2.0,
-...                            transformation=moving_average_spectral(128, 20))
->>> [series.name for series, distance in result.answers][:1]
+>>> session = repro.connect()
+>>> _ = session.relation("walks").insert_many(data).with_index(KIndex())
+>>> session = session.with_transformation("mavg20", moving_average_spectral(128, 20))
+>>> query = Q.from_("walks").under("mavg20").within(2.0).of(Q.param("q"))
+>>> prepared = session.prepare(query)
+>>> [series.name for series, distance in prepared.run(q=data[0]).answers][:1]
 ['walk-0']
+
+``session.sql(text_or_builder, **params)`` runs ad-hoc queries,
+``prepared.run_many(bindings)`` executes a parameter batch through one shared
+index traversal, and ``session.explain(query)`` prints the plan that will
+actually run.  The lower-level pieces (``Database``, ``QueryEngine``,
+``KIndex`` ...) remain public for direct use.
 
 The package is organised as:
 
@@ -44,9 +57,11 @@ from .core.cost import AdditiveCostModel, CostBudget, MaxCostModel
 from .core.database import Database, DistanceProvider, Relation, Row
 from .core.distance import city_block, euclidean, euclidean_with_early_abandon
 from .core.errors import (
+    CatalogError,
     CostExceededError,
     DimensionMismatchError,
     PatternError,
+    QueryBuildError,
     QueryPlanningError,
     QuerySyntaxError,
     ReproError,
@@ -62,9 +77,11 @@ from .core.patterns import (
     TransformedPattern,
 )
 from .core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery, SimilarityQuery
+from .core.query.builder import Param, Q, QueryBuilder
 from .core.query.executor import QueryEngine, QueryOutcome
 from .core.query.parser import parse as parse_query
 from .core.query.planner import Planner, explain
+from .core.session import BoundQuery, PreparedQuery, RelationHandle, Session, connect
 from .core.rules import TransformationRuleSet
 from .core.similarity import SimilarityEngine, is_similar, transformation_distance
 from .core.spaces import PolarSpace, RectangularSpace
@@ -127,12 +144,15 @@ __all__ = [
     "Database", "DistanceProvider", "Relation", "Row",
     "city_block", "euclidean", "euclidean_with_early_abandon",
     "ReproError", "DimensionMismatchError", "UnsafeTransformationError",
-    "CostExceededError", "PatternError", "QuerySyntaxError", "QueryPlanningError",
+    "CatalogError", "CostExceededError", "PatternError", "QuerySyntaxError",
+    "QueryBuildError", "QueryPlanningError",
     "DataObject", "FeatureVector", "GenericObject",
     "Pattern", "AnyPattern", "ConstantPattern", "PredicatePattern",
     "RelationPattern", "TransformedPattern",
     "RangeQuery", "NearestNeighborQuery", "AllPairsQuery", "SimilarityQuery",
     "QueryEngine", "QueryOutcome", "parse_query", "Planner", "explain",
+    "connect", "Session", "PreparedQuery", "BoundQuery", "RelationHandle",
+    "Q", "Param", "QueryBuilder",
     "TransformationRuleSet",
     "SimilarityEngine", "is_similar", "transformation_distance",
     "PolarSpace", "RectangularSpace",

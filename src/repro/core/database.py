@@ -106,32 +106,76 @@ class Relation:
         self.version = 0
         self._rows: list[Row] = []
         self._by_id: dict[int, int] = {}
-        for row in rows:
-            self.insert(row)
+        self.extend(rows)
 
     # ------------------------------------------------------------------
     # modification
     # ------------------------------------------------------------------
-    def insert(self, row: Row | DataObject,
-               attributes: Mapping[str, Any] | None = None) -> Row:
-        """Insert a row (or wrap a bare object into one) and return it."""
+    @staticmethod
+    def _coerce_row(row: Row | DataObject,
+                    attributes: Mapping[str, Any] | None) -> Row:
+        """The row to store.  A caller-supplied :class:`Row` combined with
+        extra ``attributes`` yields a *new* merged row — the caller's object
+        (and its attribute dict) is never mutated."""
         if isinstance(row, DataObject):
-            row = Row(row, attributes)
-        elif attributes:
-            row.attributes.update(attributes)
+            return Row(row, attributes)
+        if attributes:
+            merged = dict(row.attributes)
+            merged.update(attributes)
+            return Row(row.obj, merged)
+        return row
+
+    def _append(self, row: Row) -> None:
         if row.obj.object_id in self._by_id:
             raise CatalogError(
                 f"object id {row.obj.object_id} already present in relation {self.name!r}"
             )
         self._by_id[row.obj.object_id] = len(self._rows)
         self._rows.append(row)
+
+    def insert(self, row: Row | DataObject,
+               attributes: Mapping[str, Any] | None = None) -> Row:
+        """Insert a row (or wrap a bare object into one) and return it."""
+        row = self._coerce_row(row, attributes)
+        self._append(row)
         self.version += 1
         return row
 
-    def extend(self, objects: Iterable[Row | DataObject]) -> None:
-        """Insert many rows/objects."""
-        for obj in objects:
-            self.insert(obj)
+    def extend(self, objects: Iterable[Row | DataObject]) -> list[Row]:
+        """Insert many rows/objects, bumping :attr:`version` once; returns
+        the stored rows.
+
+        A single version bump means caches keyed on the relation's state
+        token are invalidated once per bulk load, not once per row.  The
+        batch is validated up front (duplicate ids, including duplicates
+        *within* the batch, are rejected before anything is stored), so a
+        failed ``extend`` leaves the relation unchanged.
+        """
+        rows = self._prepare_batch(objects)
+        self._commit_batch(rows)
+        return rows
+
+    def _prepare_batch(self, objects: Iterable[Row | DataObject]) -> list[Row]:
+        """Coerce and validate a batch without storing anything (duplicate
+        ids — against the relation or within the batch — raise here)."""
+        rows = [self._coerce_row(obj, None) for obj in objects]
+        seen: set[int] = set()
+        for row in rows:
+            object_id = row.obj.object_id
+            if object_id in self._by_id or object_id in seen:
+                raise CatalogError(
+                    f"object id {object_id} already present in relation {self.name!r}"
+                )
+            seen.add(object_id)
+        return rows
+
+    def _commit_batch(self, rows: list[Row]) -> None:
+        """Store an already-validated batch with one version bump."""
+        for row in rows:
+            self._by_id[row.obj.object_id] = len(self._rows)
+            self._rows.append(row)
+        if rows:
+            self.version += 1
 
     # ------------------------------------------------------------------
     # access
@@ -181,7 +225,10 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._relations: dict[str, Relation] = {}
-        self._indexes: dict[tuple[str, str], Any] = {}
+        #: Indexes grouped by relation, so per-relation operations (most
+        #: importantly :meth:`state_token`, which runs on every cache probe)
+        #: never scan indexes registered on *other* relations.
+        self._indexes: dict[str, dict[str, Any]] = {}
         self._distance_providers: dict[str, DistanceProvider] = {}
         self._catalog_version = 0
 
@@ -211,8 +258,7 @@ class Database:
         if name not in self._relations:
             raise CatalogError(f"unknown relation {name!r}")
         del self._relations[name]
-        for key in [key for key in self._indexes if key[0] == name]:
-            del self._indexes[key]
+        self._indexes.pop(name, None)
         self._distance_providers.pop(name, None)
         self._catalog_version += 1
 
@@ -231,13 +277,13 @@ class Database:
         """Attach an index object to a relation under ``index_name``."""
         if relation_name not in self._relations:
             raise CatalogError(f"unknown relation {relation_name!r}")
-        self._indexes[(relation_name, index_name)] = index
+        self._indexes.setdefault(relation_name, {})[index_name] = index
         self._catalog_version += 1
 
     def index(self, relation_name: str, index_name: str = "default") -> Any:
         """Retrieve a registered index."""
         try:
-            return self._indexes[(relation_name, index_name)]
+            return self._indexes[relation_name][index_name]
         except KeyError:
             raise CatalogError(
                 f"no index {index_name!r} registered for relation {relation_name!r}"
@@ -249,19 +295,26 @@ class Database:
         of any index registered on the relation.
 
         Query caches embed the token in their keys, so mutation invalidates
-        cached entries without any explicit flushing.
+        cached entries without any explicit flushing.  The per-relation index
+        map keeps the token O(indexes on *this* relation) — it runs on every
+        cache probe of every query, so it must not scan the whole catalog.
         """
         relation = self.relation(relation_name)
-        index_sizes = tuple(
-            (key[1], len(index) if hasattr(index, "__len__") else -1)
-            for key, index in sorted(self._indexes.items(), key=lambda item: item[0])
-            if key[0] == relation_name
-        )
+        index_map = self._indexes.get(relation_name)
+        index_sizes = () if not index_map else tuple(sorted(
+            (name, len(index) if hasattr(index, "__len__") else -1)
+            for name, index in index_map.items()
+        ))
         return (self._catalog_version, relation.version, index_sizes)
 
     def has_index(self, relation_name: str, index_name: str = "default") -> bool:
         """Whether an index is registered for the relation."""
-        return (relation_name, index_name) in self._indexes
+        return index_name in self._indexes.get(relation_name, ())
+
+    def indexes_on(self, relation_name: str) -> dict[str, Any]:
+        """Name → index mapping of the indexes registered on one relation
+        (a copy; O(indexes on *this* relation), like :meth:`state_token`)."""
+        return dict(self._indexes.get(relation_name, ()))
 
     # ------------------------------------------------------------------
     # distance providers
@@ -312,8 +365,11 @@ class Database:
 
     def indexes(self) -> list[tuple[str, str]]:
         """All (relation, index name) pairs."""
-        return list(self._indexes)
+        return [(relation_name, index_name)
+                for relation_name, index_map in self._indexes.items()
+                for index_name in index_map]
 
     def __repr__(self) -> str:
+        num_indexes = sum(len(index_map) for index_map in self._indexes.values())
         return (f"Database(name={self.name!r}, relations={len(self._relations)}, "
-                f"indexes={len(self._indexes)})")
+                f"indexes={num_indexes})")

@@ -44,6 +44,15 @@ class QuerySyntaxError(ReproError):
         self.position = position
 
 
+class QueryBuildError(QuerySyntaxError):
+    """A fluent-builder chain describes a malformed or incomplete query.
+
+    Subclasses :class:`QuerySyntaxError` because both front ends (text and
+    builder) fail for the same reason — the query is not well formed — and
+    callers should be able to catch either with one clause.
+    """
+
+
 class QueryPlanningError(ReproError):
     """No executable plan could be produced for a logical query."""
 

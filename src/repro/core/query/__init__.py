@@ -1,6 +1,8 @@
-"""The similarity query language: AST, parser, planner, executor and caches."""
+"""The similarity query language: AST, two front ends (textual parser and
+fluent builder), planner, executor and caches."""
 
-from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
+from .builder import Param, Q, QueryBuilder
 from .cache import CacheStats, LRUCache
 from .executor import QueryEngine, QueryOutcome
 from .parser import parse, tokenize
@@ -8,6 +10,8 @@ from .planner import Plan, Planner, explain
 
 __all__ = [
     "Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
+    "SimilarityQuery",
+    "Q", "Param", "QueryBuilder",
     "QueryEngine", "QueryOutcome", "parse", "tokenize",
     "Plan", "Planner", "explain", "CacheStats", "LRUCache",
 ]

@@ -24,6 +24,14 @@ Queries reference the query object and the transformation *by name*; both are
 resolved at execution time from bindings supplied by the caller, which keeps
 the AST purely syntactic (and hashable / comparable, convenient for testing
 the parser and the planner).
+
+The AST is produced by two front ends that are required to agree: the
+textual parser (:mod:`repro.core.query.parser`) and the fluent builder
+(:mod:`repro.core.query.builder`).  Every node renders itself back to
+canonical surface syntax through :meth:`Query.describe`, and
+``parse(node.describe()) == node`` holds for any node either front end can
+produce — which is how plan explanations show the predicate and how the
+equivalence tests pin the two front ends together.
 """
 
 from __future__ import annotations
@@ -35,6 +43,12 @@ __all__ = ["Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
            "SimilarityQuery"]
 
 
+def _number(value: float) -> str:
+    """Shortest surface form of a non-negative number (``repr`` round-trips
+    through the parser's number token: ``2.5``, ``0.001``, ``1e-10``)."""
+    return repr(float(value))
+
+
 @dataclass(frozen=True)
 class Query:
     """Base class of all queries: every query targets one relation and may
@@ -42,6 +56,13 @@ class Query:
 
     relation: str
     transformation: str | None = None
+
+    def describe(self) -> str:
+        """Canonical surface syntax of this query (parse-roundtrippable)."""
+        raise NotImplementedError
+
+    def _using(self) -> str:
+        return f" USING {self.transformation}" if self.transformation else ""
 
 
 @dataclass(frozen=True)
@@ -52,6 +73,12 @@ class RangeQuery(Query):
     epsilon: float = 0.0
     transform_query: bool = True
 
+    def describe(self) -> str:
+        raw = "" if self.transform_query else " RAW QUERY"
+        return (f"SELECT FROM {self.relation} WHERE "
+                f"DIST(OBJECT, ${self.parameter}) < {_number(self.epsilon)}"
+                f"{self._using()}{raw}")
+
 
 @dataclass(frozen=True)
 class NearestNeighborQuery(Query):
@@ -61,12 +88,21 @@ class NearestNeighborQuery(Query):
     k: int = 1
     transform_query: bool = True
 
+    def describe(self) -> str:
+        raw = "" if self.transform_query else " RAW QUERY"
+        return (f"SELECT FROM {self.relation} NEAREST {self.k} "
+                f"TO ${self.parameter}{self._using()}{raw}")
+
 
 @dataclass(frozen=True)
 class AllPairsQuery(Query):
     """``SELECT PAIRS FROM r WHERE dist < eps [USING t]``"""
 
     epsilon: float = 0.0
+
+    def describe(self) -> str:
+        return (f"SELECT PAIRS FROM {self.relation} WHERE "
+                f"DIST < {_number(self.epsilon)}{self._using()}")
 
 
 @dataclass(frozen=True)
@@ -89,3 +125,8 @@ class SimilarityQuery(Query):
     parameter: str = "query"
     epsilon: float = 0.0
     cost_bound: float = math.inf
+
+    def describe(self) -> str:
+        cost = "" if math.isinf(self.cost_bound) else f" COST {_number(self.cost_bound)}"
+        return (f"SELECT FROM {self.relation} WHERE "
+                f"SIM(OBJECT, ${self.parameter}) < {_number(self.epsilon)}{cost}")

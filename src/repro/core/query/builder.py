@@ -1,0 +1,253 @@
+"""A fluent query builder that compiles to the parser's AST.
+
+:class:`Q` is the programmatic twin of the textual surface syntax: a chain of
+immutable builder steps that ends in :meth:`QueryBuilder.build` and produces
+*exactly* the AST node ``parse`` would produce for the equivalent text.  There
+is deliberately no second execution path — the planner, executor and caches
+only ever see :mod:`~repro.core.query.ast` nodes, so a built query hits the
+same plan-cache entries as its textual form.
+
+The four query families::
+
+    Q.from_("stocks").under("mavg10").within(2.0).of(Q.param("q"))
+    Q.from_("stocks").nearest(5).to(Q.param("q")).under("mavg10")
+    Q.from_("words").similar_to(Q.param("q"), epsilon=0.5, cost=2.0)
+    Q.from_("stocks").pairs_within(1.5).under("mavg20")
+
+Builders are frozen dataclasses; every step returns a *new* builder, so a
+shared prefix (``base = Q.from_("stocks").under("mavg10")``) can be extended
+into many different queries without the chains interfering.
+
+Anywhere the engine accepts query text it also accepts a builder (or the
+bare AST): :meth:`~repro.core.session.Session.sql`,
+:meth:`~repro.core.session.Session.prepare`,
+:meth:`~repro.core.query.executor.QueryEngine.execute` and friends all call
+``build()`` on builder objects.  ``str(builder)`` renders the canonical
+surface text of a complete chain (and a ``<incomplete ...>`` placeholder for
+one that cannot build yet).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, replace
+
+from ..errors import QueryBuildError
+from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
+
+__all__ = ["Q", "Param", "QueryBuilder"]
+
+#: Exactly the parser's identifier token — names accepted here must survive
+#: the ``parse(node.describe()) == node`` round trip.
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+
+def _identifier(name: str, what: str) -> str:
+    if not isinstance(name, str) or _IDENTIFIER.match(name) is None:
+        raise QueryBuildError(
+            f"{what} {name!r} is not a valid identifier "
+            "([A-Za-z_][A-Za-z_0-9]*, as in the textual syntax)")
+    return name
+
+
+def _threshold(value: float) -> float:
+    value = float(value)
+    if value < 0 or not math.isfinite(value):
+        raise QueryBuildError(f"threshold must be finite and >= 0, got {value}")
+    return value
+
+
+def _reject_raw(family: str) -> None:
+    raise QueryBuildError(f"RAW QUERY does not apply to {family} queries")
+
+
+_SIM_NO_USING = ("SIM queries take no USING clause; transformations for SIM "
+                 "come from the relation's distance-provider rules")
+
+
+@dataclass(frozen=True)
+class Param:
+    """A named query-object placeholder — the builder's ``$name``.
+
+    The AST references query objects by name and the actual object is bound
+    at execution time, so the builder never holds data objects, only
+    placeholders.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _identifier(self.name, "parameter name")
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+def _param_name(parameter: Param | str) -> str:
+    """Accept ``Q.param("q")``, ``"q"`` or ``"$q"`` wherever a parameter goes."""
+    if isinstance(parameter, Param):
+        return parameter.name
+    if isinstance(parameter, str):
+        return Param(parameter[1:] if parameter.startswith("$") else parameter).name
+    raise QueryBuildError(
+        f"expected Q.param(...) or a parameter name, got {type(parameter).__name__}")
+
+
+@dataclass(frozen=True)
+class QueryBuilder:
+    """One partially-built query; every fluent step returns a new builder."""
+
+    relation: str
+    family: str | None = None  # "range" | "nearest" | "sim" | "pairs"
+    transformation: str | None = None
+    transform_query: bool = True
+    parameter: str | None = None
+    epsilon: float | None = None
+    k: int | None = None
+    cost_bound: float = math.inf
+
+    # -- shared modifiers --------------------------------------------------
+    def under(self, transformation: str) -> QueryBuilder:
+        """Apply a named transformation (the textual ``USING`` clause)."""
+        if self.family == "sim":
+            raise QueryBuildError(_SIM_NO_USING)
+        return replace(self,
+                       transformation=_identifier(transformation,
+                                                  "transformation name"))
+
+    def raw_query(self) -> QueryBuilder:
+        """Do not transform the query object (the textual ``RAW QUERY``)."""
+        if self.family in ("sim", "pairs"):
+            _reject_raw(self.family)
+        return replace(self, transform_query=False)
+
+    # -- range -------------------------------------------------------------
+    def within(self, epsilon: float) -> QueryBuilder:
+        """Distance threshold: starts a range query (or sets the pairs
+        threshold when the chain already went through :meth:`pairs_with`)."""
+        epsilon = _threshold(epsilon)
+        if self.family == "pairs":
+            return replace(self, epsilon=epsilon)
+        self._require_family(None, "within")
+        return replace(self, family="range", epsilon=epsilon)
+
+    def of(self, parameter: Param | str) -> QueryBuilder:
+        """The query object a range query measures distance to."""
+        self._require_family("range", "of")
+        return replace(self, parameter=_param_name(parameter))
+
+    # -- nearest neighbours -------------------------------------------------
+    def nearest(self, k: int) -> QueryBuilder:
+        """The ``k`` nearest neighbours; follow with :meth:`to`."""
+        self._require_family(None, "nearest")
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            raise QueryBuildError(f"expected a positive integer k, got {k!r}")
+        return replace(self, family="nearest", k=k)
+
+    def to(self, parameter: Param | str) -> QueryBuilder:
+        """The query object a nearest-neighbour query centres on."""
+        self._require_family("nearest", "to")
+        return replace(self, parameter=_param_name(parameter))
+
+    # -- bounded-cost similarity --------------------------------------------
+    def similar_to(self, parameter: Param | str, epsilon: float,
+                   cost: float = math.inf) -> QueryBuilder:
+        """The paper's ``sim`` predicate: objects some transformation sequence
+        of total cost at most ``cost`` rewrites to within ``epsilon`` of the
+        query object."""
+        self._require_family(None, "similar_to")
+        if self.transformation is not None:
+            raise QueryBuildError(_SIM_NO_USING)
+        if not self.transform_query:
+            _reject_raw("sim")
+        cost = float(cost)
+        if cost < 0 or math.isnan(cost):
+            raise QueryBuildError(f"cost bound must be >= 0, got {cost}")
+        return replace(self, family="sim", parameter=_param_name(parameter),
+                       epsilon=_threshold(epsilon), cost_bound=cost)
+
+    # -- all pairs ----------------------------------------------------------
+    def pairs_with(self, relation: str | None = None) -> QueryBuilder:
+        """A similarity self-join; follow with :meth:`within`.
+
+        The query language currently joins a relation with *itself*, so
+        ``relation`` must be omitted or name the source relation — a
+        different name is rejected rather than silently self-joined.
+        """
+        self._require_family(None, "pairs_with")
+        if relation is not None and relation != self.relation:
+            raise QueryBuildError(
+                f"cannot join {self.relation!r} with {relation!r}: the query "
+                "language only supports self-joins (SELECT PAIRS FROM r)")
+        if not self.transform_query:
+            _reject_raw("pairs")
+        return replace(self, family="pairs")
+
+    def pairs_within(self, epsilon: float) -> QueryBuilder:
+        """Shorthand for ``.pairs_with().within(epsilon)``."""
+        return self.pairs_with().within(epsilon)
+
+    # -- compilation ---------------------------------------------------------
+    def build(self) -> Query:
+        """Compile to the AST node the parser would produce for the same query."""
+        if self.family == "range":
+            if self.parameter is None:
+                raise QueryBuildError(
+                    "range query needs a query object: .within(eps).of(Q.param(...))")
+            return RangeQuery(relation=self.relation,
+                              transformation=self.transformation,
+                              parameter=self.parameter, epsilon=self.epsilon,
+                              transform_query=self.transform_query)
+        if self.family == "nearest":
+            if self.parameter is None:
+                raise QueryBuildError(
+                    "nearest query needs a query object: .nearest(k).to(Q.param(...))")
+            return NearestNeighborQuery(relation=self.relation,
+                                        transformation=self.transformation,
+                                        parameter=self.parameter, k=self.k,
+                                        transform_query=self.transform_query)
+        if self.family == "sim":
+            return SimilarityQuery(relation=self.relation,
+                                   parameter=self.parameter, epsilon=self.epsilon,
+                                   cost_bound=self.cost_bound)
+        if self.family == "pairs":
+            if self.epsilon is None:
+                raise QueryBuildError(
+                    "pairs query needs a threshold: .pairs_with().within(eps)")
+            return AllPairsQuery(relation=self.relation,
+                                 transformation=self.transformation,
+                                 epsilon=self.epsilon)
+        raise QueryBuildError(
+            "incomplete query: chain .within(...).of(...), .nearest(k).to(...), "
+            ".similar_to(...) or .pairs_with().within(...) after Q.from_(...)")
+
+    def __str__(self) -> str:
+        """Canonical surface text of a complete chain; a placeholder (never
+        an exception) for one that cannot build yet, so partially-built
+        queries are safe to interpolate into logs and error messages."""
+        try:
+            return self.build().describe()
+        except QueryBuildError:
+            return (f"<incomplete {self.family or 'unstarted'} query "
+                    f"on {self.relation!r}>")
+
+    def _require_family(self, family: str | None, step: str) -> None:
+        if self.family != family:
+            have = self.family or "unstarted"
+            raise QueryBuildError(
+                f".{step}() does not apply to a {have!r} query chain")
+
+
+class Q:
+    """Namespace entry point of the fluent builder (``from repro import Q``)."""
+
+    @staticmethod
+    def from_(relation: str) -> QueryBuilder:
+        """Start a query over the named relation."""
+        return QueryBuilder(relation=_identifier(relation, "relation name"))
+
+    @staticmethod
+    def param(name: str) -> Param:
+        """A named query-object placeholder, bound at execution time."""
+        return Param(name)

@@ -13,6 +13,13 @@ Version tokens come from :meth:`~repro.core.database.Database.state_token`;
 because the token participates in the key, *invalidation on mutation* falls
 out of the keying scheme and stale entries age out of the LRU order rather
 than needing an explicit flush.
+
+Every front end shares these caches, because every front end compiles to the
+same AST: textual queries, fluent ``Q`` builders and prepared statements all
+hit the same plan-cache entries.  A
+:class:`~repro.core.session.PreparedQuery` leans on exactly this — "plan at
+most once per catalog state" is nothing more than a guaranteed plan-cache hit
+until the state token moves.
 """
 
 from __future__ import annotations

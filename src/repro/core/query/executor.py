@@ -135,7 +135,40 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, query: str | Query,
+    @staticmethod
+    def _coerce_query(query: str | Query | Any) -> Query:
+        """Accept query text, an AST node, a fluent builder (anything with a
+        ``build()`` producing an AST node) or a prepared query (anything
+        carrying its AST as ``.query``) — the front doors all meet at the
+        same AST, so plans and cached answers are shared between them.
+        """
+        if isinstance(query, str):
+            return parse(query)
+        if isinstance(query, Query):
+            return query
+        build = getattr(query, "build", None)
+        if callable(build):
+            node = build()
+            if isinstance(node, Query):
+                return node
+        node = getattr(query, "query", None)
+        if isinstance(node, Query):
+            return node
+        raise QueryPlanningError(
+            f"cannot execute a {type(query).__name__}: expected query text, a "
+            "Query AST node, a Q builder, or a prepared query")
+
+    def plan(self, query: str | Query | Any) -> Plan:
+        """The physical plan the engine would execute for ``query`` right now.
+
+        Goes through the plan cache, so a subsequent ``execute`` of the same
+        query (at the same catalog state) runs exactly this plan — which is
+        what ``Session.explain`` and prepared statements rely on.
+        """
+        node = self._coerce_query(query)
+        return self._plan_cached(node, self.transformation(node.transformation))
+
+    def execute(self, query: str | Query | Any,
                 parameters: Mapping[str, Any] | None = None) -> QueryOutcome:
         """Parse (if needed), plan and run one query.
 
@@ -143,7 +176,7 @@ class QueryEngine:
         """
         return self.execute_many([query], parameters=[parameters])[0]
 
-    def execute_many(self, queries: Sequence[str | Query],
+    def execute_many(self, queries: Sequence[str | Query | Any],
                      parameters: Sequence[Mapping[str, Any] | None]
                      | Mapping[str, Any] | None = None
                      ) -> list[QueryOutcome]:
@@ -160,8 +193,7 @@ class QueryEngine:
         :meth:`execute`; per-query ``elapsed_seconds`` of batched queries is
         the group's wall time divided evenly across its members.
         """
-        nodes = [parse(query) if isinstance(query, str) else query
-                 for query in queries]
+        nodes = [self._coerce_query(query) for query in queries]
         bindings = self._normalize_bindings(parameters, len(nodes))
         outcomes: list[QueryOutcome | None] = [None] * len(nodes)
         plans: list[Plan | None] = [None] * len(nodes)

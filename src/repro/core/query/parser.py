@@ -19,6 +19,12 @@ parameters)::
     number       := digits [ "." digits ] | "." digits, with an optional
                     exponent suffix ("1e-3", "2.5E+4", ".5")
 
+The parser is one of two front ends over the same AST: the fluent builder
+(:mod:`repro.core.query.builder`) compiles ``Q.from_(...)`` chains to nodes
+equal to what ``parse`` produces for the textual form, and every AST node
+renders back to canonical text via ``describe()`` such that
+``parse(node.describe()) == node``.
+
 ``OBJECT`` and ``SERIES`` are interchangeable — the query language is domain
 neutral; ``SERIES`` is kept for backwards compatibility with the time-series
 surface syntax.  ``RAW QUERY`` asks the executor *not* to apply the

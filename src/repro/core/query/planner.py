@@ -148,6 +148,10 @@ class Planner:
     def __init__(self, database: Database, selectivity_crossover: float = 0.33) -> None:
         self.database = database
         self.selectivity_crossover = float(selectivity_crossover)
+        #: How many times :meth:`plan` ran.  Prepared statements promise
+        #: "re-plan at most once per (AST, catalog state)"; tests and
+        #: benchmarks read this counter to hold them to it.
+        self.invocations = 0
 
     def plan(self, query: Query, *, transformation=None) -> Plan:
         """Produce the physical plan for a parsed query.
@@ -156,6 +160,7 @@ class Planner:
         — the planner needs it to check index safety; name resolution happens
         in the executor, which passes the object down.
         """
+        self.invocations += 1
         if query.relation not in self.database:
             raise QueryPlanningError(f"unknown relation {query.relation!r}")
         if self.database.has_distance_provider(query.relation):
@@ -177,9 +182,8 @@ class Planner:
     # ------------------------------------------------------------------
     def _metric_index_name(self, relation: str) -> str | None:
         """Name of a registered metric index usable for the relation, if any."""
-        for relation_name, index_name in self.database.indexes():
-            if relation_name == relation and \
-                    getattr(self.database.index(relation, index_name), "is_metric", False):
+        for index_name, index in self.database.indexes_on(relation).items():
+            if getattr(index, "is_metric", False):
                 return index_name
         return None
 
@@ -302,6 +306,40 @@ class Planner:
         return ScanJoinPlan(query=query, reason=reason)
 
 
+def _access_path(plan: Plan) -> str:
+    """How the plan touches the data: index, scan, provider or engine."""
+    if isinstance(plan, (IndexRangePlan, IndexNearestPlan, IndexJoinPlan)):
+        return f"via index {plan.index_name!r}"
+    if isinstance(plan, (ScanRangePlan, ScanNearestPlan, ScanJoinPlan)):
+        return "via sequential scan"
+    if isinstance(plan, EngineRangePlan):
+        if plan.via_engine:
+            if plan.index_name is not None:
+                return ("via similarity engine, screened by metric index "
+                        f"{plan.index_name!r}")
+            return "via similarity engine"
+        if plan.index_name is not None:
+            return f"via metric index {plan.index_name!r}"
+        return "via provider scan"
+    if isinstance(plan, EngineNearestPlan):
+        if plan.index_name is not None:
+            return f"via metric index {plan.index_name!r}"
+        return "via provider scan"
+    if isinstance(plan, EngineJoinPlan):
+        return "via provider nested loop"
+    return "via unknown access path"
+
+
 def explain(plan: Plan) -> str:
-    """One-line human-readable description of a plan."""
-    return f"{type(plan).__name__} on {plan.query.relation!r}: {plan.reason}"
+    """One-line human-readable description of a plan.
+
+    Renders the plan family, the target relation, the predicate (the query's
+    canonical surface syntax) and the chosen access path, followed by the
+    planner's reason for the choice::
+
+        IndexRangePlan on 'walks': SELECT FROM walks WHERE DIST(OBJECT, $q)
+        < 4.0 USING mavg10 | via index 'default' — index available and
+        transformation is safe
+    """
+    return (f"{type(plan).__name__} on {plan.query.relation!r}: "
+            f"{plan.query.describe()} | {_access_path(plan)} — {plan.reason}")

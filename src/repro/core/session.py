@@ -1,0 +1,392 @@
+"""The front door of the engine: sessions, prepared statements, handles.
+
+Everything a caller previously wired by hand — build a
+:class:`~repro.core.database.Database`, register indexes and distance
+providers, construct a :class:`~repro.core.query.executor.QueryEngine`,
+register transformations, ship query strings with ``$param`` dicts — enters
+through one object::
+
+    import repro
+    from repro import Q
+
+    session = repro.connect()
+    (session.relation("stocks")
+        .insert_many(archive)
+        .with_index(KIndex.bulk_load(archive, extractor)))
+    session.with_transformation("mavg20", moving_average_spectral(128, 20))
+
+    # ad-hoc text, a fluent builder, or a prepared statement — same AST,
+    # same planner, same caches:
+    session.sql("SELECT FROM stocks WHERE dist(series, $q) < 2.0 USING mavg20", q=series)
+    session.sql(Q.from_("stocks").under("mavg20").within(2.0).of(Q.param("q")), q=series)
+
+    prepared = session.prepare(Q.from_("stocks").under("mavg20").within(2.0).of(Q.param("q")))
+    prepared.run(q=series)                       # plan reused, not re-planned
+    prepared.run_many([{"q": s} for s in batch]) # joins execute_many batching
+
+A :class:`PreparedQuery` pays the parse once (at ``prepare``) and the plan at
+most once per catalog state: execution goes through the engine's plan cache,
+which keys on the AST and the relation's
+:meth:`~repro.core.database.Database.state_token`, so a thousand ``run``
+calls against an unchanged catalog invoke the planner exactly once — and a
+mutation re-plans exactly once more.  ``session.explain`` goes through the
+same cache, so what it prints is the plan that will actually run.
+
+The old surface keeps working: ``Session`` is a facade over the same
+``QueryEngine`` (exposed as :attr:`Session.engine`), and constructing
+``QueryEngine(database, ...)`` directly remains supported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..timeseries.transforms import SpectralTransformation
+from .database import Database, DistanceProvider, Relation, Row
+from .errors import CatalogError, QueryPlanningError
+from .objects import DataObject
+from .query.ast import Query
+from .query.executor import QueryEngine, QueryOutcome
+from .query.planner import Plan, explain as explain_plan
+
+__all__ = ["Session", "PreparedQuery", "BoundQuery", "RelationHandle", "connect"]
+
+
+def _merge_parameters(parameters: Mapping[str, Any] | None,
+                      keyword_parameters: Mapping[str, Any]) -> dict[str, Any]:
+    merged = dict(parameters) if parameters else {}
+    merged.update(keyword_parameters)
+    return merged
+
+
+class RelationHandle:
+    """A relation plus everything registered on it, as one chainable object.
+
+    Replaces the three-step ``create_relation`` / ``register_index`` /
+    ``register_distance`` dance::
+
+        (session.relation("words")
+            .insert_many(StringObject(w) for w in words)
+            .with_distance(edit_distance_provider())
+            .with_index(MetricIndex(provider.distance)))
+
+    ``with_*`` methods return the handle, so registration chains; reading
+    methods (``rows``, ``objects``, iteration, ``len``) delegate to the
+    underlying :class:`~repro.core.database.Relation`, available as
+    :attr:`relation` when the thinner surface is not enough.
+
+    Inserting through the handle keeps every index registered on the
+    relation in sync (new objects are propagated via the index's
+    ``insert``/``extend``), so the registration order — load then index, or
+    index then load — does not matter and index-backed answers never
+    silently miss rows.  The batch is validated first and the relation
+    commits *after* the index updates: a failing index insert raises before
+    the rows are stored, so the relation never holds rows its indexes
+    rejected (with several indexes, ones updated before the failure may
+    hold the rejected object — a loud extra, never a silent miss).
+    Mutating the relation *below* the handle (``handle.relation.insert``,
+    or the ``Database`` directly) bypasses this and leaves registered
+    indexes to the caller.
+    """
+
+    __slots__ = ("_session", "relation")
+
+    def __init__(self, session: Session, relation: Relation) -> None:
+        self._session = session
+        self.relation = relation
+
+    @property
+    def name(self) -> str:
+        """The relation's catalog name."""
+        return self.relation.name
+
+    def _check_live(self) -> None:
+        """Mutating through a handle whose relation was dropped (or dropped
+        and recreated under the same name) would write into an orphaned
+        object — or worse, desynchronise the new relation's indexes — so it
+        is rejected instead."""
+        database = self._session.database
+        if self.name not in database \
+                or database.relation(self.name) is not self.relation:
+            raise CatalogError(
+                f"stale handle: relation {self.name!r} was dropped or replaced "
+                "in the catalog; get a fresh handle via session.relation(...)")
+
+    def _registered_indexes(self) -> list[Any]:
+        return list(self._session.database.indexes_on(self.name).values())
+
+    # -- loading -----------------------------------------------------------
+    def insert(self, row: Row | DataObject,
+               attributes: Mapping[str, Any] | None = None) -> Row:
+        """Insert one row (or bare object) into the relation *and* every
+        registered index; returns the stored row."""
+        self._check_live()
+        prepared = self.relation._prepare_batch(
+            [Relation._coerce_row(row, attributes)])
+        for index in self._registered_indexes():
+            index.insert(prepared[0].obj)
+        self.relation._commit_batch(prepared)
+        return prepared[0]
+
+    def insert_many(self, rows: Iterable[Row | DataObject]) -> RelationHandle:
+        """Bulk-insert rows into the relation and every registered index,
+        with a single relation version bump (one cache invalidation for the
+        whole load, not one per row)."""
+        self._check_live()
+        prepared = self.relation._prepare_batch(rows)
+        if prepared:
+            objects = [row.obj for row in prepared]
+            for index in self._registered_indexes():
+                index.extend(objects)
+            self.relation._commit_batch(prepared)
+        return self
+
+    # -- registration ------------------------------------------------------
+    def with_index(self, index: Any, name: str = "default") -> RelationHandle:
+        """Register an index over this relation.
+
+        An empty index is loaded from the relation's objects; a pre-loaded
+        index must match the relation's size — a mismatch is rejected loudly
+        (a partially-loaded index would silently drop answers).  The guard
+        is size-based and therefore best-effort: an equal-size index built
+        over *different* objects cannot be detected cheaply and remains the
+        caller's responsibility.  Indexes deliberately built over a subset
+        belong on the lower-level :meth:`Database.register_index`, which
+        does not check.
+        """
+        self._check_live()
+        if not hasattr(index, "__len__"):
+            raise CatalogError(
+                f"cannot verify that an unsized index covers relation "
+                f"{self.name!r}; register it through Database.register_index "
+                "if the coverage is your responsibility")
+        if len(index) == 0 and hasattr(index, "extend"):
+            index.extend(self.relation)
+        elif len(index) != len(self.relation):
+            raise CatalogError(
+                f"index holds {len(index)} objects but relation {self.name!r} "
+                f"holds {len(self.relation)}; load the index from the full "
+                "relation (or register a deliberately partial index through "
+                "Database.register_index)")
+        self._session.database.register_index(self.name, index, name)
+        return self
+
+    def with_distance(self, provider: DistanceProvider | Any, **kwargs: Any
+                      ) -> RelationHandle:
+        """Register how this relation's objects are compared (a
+        :class:`DistanceProvider` or a bare distance callable; keyword
+        arguments as for :meth:`Database.register_distance`)."""
+        self._check_live()
+        self._session.database.register_distance(self.name, provider, **kwargs)
+        return self
+
+    # -- reading -----------------------------------------------------------
+    def rows(self) -> Iterator[Row]:
+        return self.relation.rows()
+
+    def objects(self) -> list[DataObject]:
+        return self.relation.objects()
+
+    def __iter__(self) -> Iterator[DataObject]:
+        return iter(self.relation)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __repr__(self) -> str:
+        return f"RelationHandle({self.relation!r})"
+
+
+class BoundQuery:
+    """A prepared query with its parameters attached, ready to run."""
+
+    __slots__ = ("prepared", "parameters")
+
+    def __init__(self, prepared: PreparedQuery,
+                 parameters: Mapping[str, Any]) -> None:
+        self.prepared = prepared
+        self.parameters = dict(parameters)
+
+    @property
+    def query(self) -> Query:
+        """The underlying AST node (so the engine's front doors accept a
+        bound query wherever they accept its prepared statement)."""
+        return self.prepared.query
+
+    def run(self) -> QueryOutcome:
+        """Execute with the bound parameters (the prepared plan is reused)."""
+        return self.prepared.run(self.parameters)
+
+    def explain(self) -> str:
+        """The plan this binding will execute."""
+        return self.prepared.explain()
+
+    def __repr__(self) -> str:
+        return f"BoundQuery({self.prepared.text!r}, {sorted(self.parameters)})"
+
+
+class PreparedQuery:
+    """Parse once, plan once per catalog state, bind and run many times.
+
+    Obtained from :meth:`Session.prepare`.  The source text (or builder) is
+    parsed exactly once, at preparation; planning happens lazily through the
+    engine's plan cache, whose key includes the relation's state token — so
+    repeated :meth:`run` / :meth:`run_many` calls against an unchanged
+    catalog never invoke the planner again, while any catalog or data
+    mutation transparently re-plans on the next run.  :meth:`run_many` hands
+    the whole binding list to
+    :meth:`~repro.core.query.executor.QueryEngine.execute_many`, so
+    compatible bindings share one batched index traversal.
+    """
+
+    __slots__ = ("_session", "query", "text")
+
+    def __init__(self, session: Session, source: str | Query | Any) -> None:
+        self._session = session
+        self.query: Query = QueryEngine._coerce_query(source)
+        #: Canonical surface text of the prepared query.
+        self.text: str = source if isinstance(source, str) else self.query.describe()
+
+    def plan(self) -> Plan:
+        """The plan the next ``run`` will execute (through the plan cache)."""
+        return self._session.engine.plan(self.query)
+
+    def explain(self) -> str:
+        """One-line rendering of :meth:`plan`."""
+        return explain_plan(self.plan())
+
+    def bind(self, parameters: Mapping[str, Any] | None = None,
+             **keyword_parameters: Any) -> BoundQuery:
+        """Attach parameters, returning a runnable :class:`BoundQuery`."""
+        return BoundQuery(self, _merge_parameters(parameters, keyword_parameters))
+
+    def run(self, parameters: Mapping[str, Any] | None = None,
+            **keyword_parameters: Any) -> QueryOutcome:
+        """Execute once with the given parameters."""
+        merged = _merge_parameters(parameters, keyword_parameters)
+        return self._session.engine.execute(self.query, merged)
+
+    def run_many(self, bindings: Sequence[Mapping[str, Any] | None]
+                 ) -> list[QueryOutcome]:
+        """Execute once per binding, as one batch (shared traversals,
+        shared plan, per-binding answer-cache probes)."""
+        if isinstance(bindings, Mapping):
+            raise QueryPlanningError(
+                "run_many takes a sequence of binding mappings (one per "
+                "execution); for a single binding use run(...) or "
+                "run_many([binding])")
+        bindings = list(bindings)
+        return self._session.engine.execute_many([self.query] * len(bindings),
+                                                 bindings)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.text!r})"
+
+
+class Session:
+    """One front door: catalog, transformations, caches and execution.
+
+    Parameters
+    ----------
+    database:
+        An existing catalog to wrap, or ``None`` for a fresh one.
+    transformations:
+        Initial ``USING``-name registrations (more via
+        :meth:`with_transformation`).
+    plan_cache_size / answer_cache_size:
+        Forwarded to the underlying :class:`QueryEngine`; ``0`` disables the
+        respective cache.
+    """
+
+    def __init__(self, database: Database | None = None, *,
+                 transformations: Mapping[str, SpectralTransformation] | None = None,
+                 plan_cache_size: int = 256,
+                 answer_cache_size: int = 1024) -> None:
+        self.database = database if database is not None else Database()
+        #: The underlying engine — the compat escape hatch; everything the
+        #: session runs goes through it (and through its caches).
+        self.engine = QueryEngine(self.database, transformations,
+                                  plan_cache_size=plan_cache_size,
+                                  answer_cache_size=answer_cache_size)
+
+    # -- catalog -----------------------------------------------------------
+    def relation(self, name: str,
+                 rows: Iterable[Row | DataObject] = ()) -> RelationHandle:
+        """A chainable handle on the named relation, creating it (with the
+        optional initial ``rows``) when the catalog does not have it yet."""
+        if name in self.database:
+            handle = RelationHandle(self, self.database.relation(name))
+            if rows:
+                handle.insert_many(rows)
+            return handle
+        return RelationHandle(self, self.database.create_relation(name, rows))
+
+    def drop_relation(self, name: str) -> None:
+        """Drop a relation, its indexes, its provider and engine-side state."""
+        self.engine.drop_relation(name)
+
+    def with_transformation(self, name: str,
+                            transformation: SpectralTransformation) -> Session:
+        """Register a ``USING``-clause transformation; chainable."""
+        self.engine.register_transformation(name, transformation)
+        return self
+
+    # -- execution ---------------------------------------------------------
+    def sql(self, query: str | Query | Any,
+            parameters: Mapping[str, Any] | None = None,
+            **keyword_parameters: Any) -> QueryOutcome:
+        """Parse, plan and run one query (text, AST node or ``Q`` builder);
+        parameters go in a mapping, as keywords, or both."""
+        return self.engine.execute(query,
+                                   _merge_parameters(parameters, keyword_parameters))
+
+    def sql_many(self, queries: Sequence[str | Query | Any],
+                 parameters: Sequence[Mapping[str, Any] | None]
+                 | Mapping[str, Any] | None = None) -> list[QueryOutcome]:
+        """Run a batch of queries through the engine's batched executor."""
+        return self.engine.execute_many(queries, parameters)
+
+    def prepare(self, query: str | Query | Any) -> PreparedQuery:
+        """Parse now; plan lazily, at most once per catalog state."""
+        return PreparedQuery(self, query)
+
+    def explain(self, query: str | Query | PreparedQuery | Any) -> str:
+        """The plan a query would execute right now (same cache entry the
+        execution will hit, so this *is* the plan that runs)."""
+        if isinstance(query, (PreparedQuery, BoundQuery)):
+            return query.explain()
+        return explain_plan(self.engine.plan(query))
+
+    # -- caches ------------------------------------------------------------
+    @property
+    def plan_cache(self):
+        """The engine's LRU plan cache (shared by every front end)."""
+        return self.engine.plan_cache
+
+    @property
+    def answer_cache(self):
+        """The engine's LRU answer cache (shared by every front end)."""
+        return self.engine.answer_cache
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan and answer."""
+        self.engine.clear_caches()
+
+    def __repr__(self) -> str:
+        return f"Session({self.database!r})"
+
+
+def connect(database: Database | None = None, *,
+            transformations: Mapping[str, SpectralTransformation] | None = None,
+            plan_cache_size: int = 256,
+            answer_cache_size: int = 1024) -> Session:
+    """Open a :class:`Session` — the recommended way in.
+
+    ``repro.connect()`` starts from an empty catalog;
+    ``repro.connect(existing_database)`` wraps one built elsewhere (the
+    migration path for code that already constructs ``Database`` /
+    ``QueryEngine`` by hand).
+    """
+    return Session(database, transformations=transformations,
+                   plan_cache_size=plan_cache_size,
+                   answer_cache_size=answer_cache_size)

@@ -103,3 +103,113 @@ class TestDatabase:
         assert database.indexes() == []
         with pytest.raises(CatalogError):
             database.drop_relation("r")
+
+
+class TestInsertDoesNotMutateCaller:
+    """Regression: insert(row, attributes) used to update the caller's dict."""
+
+    def test_callers_row_attributes_untouched(self):
+        relation = Relation("r")
+        caller_row = Row(GenericObject([1.0], name="x"), {"kept": 1})
+        stored = relation.insert(caller_row, {"added": 2})
+        assert caller_row.attributes == {"kept": 1}
+        assert stored.attributes == {"kept": 1, "added": 2}
+        assert stored is not caller_row
+
+    def test_row_without_extra_attributes_is_stored_as_is(self):
+        relation = Relation("r")
+        caller_row = Row(GenericObject([1.0], name="x"), {"kept": 1})
+        assert relation.insert(caller_row) is caller_row
+
+    def test_callers_attribute_mapping_untouched(self):
+        relation = Relation("r")
+        attributes = {"source": "nyse"}
+        stored = relation.insert(GenericObject([1.0], name="x"), attributes)
+        stored.attributes["mutated"] = True
+        assert attributes == {"source": "nyse"}
+
+
+class TestBulkExtend:
+    """Regression: extend used to bump version once per row."""
+
+    def test_extend_bumps_version_once(self):
+        relation = Relation("r")
+        before = relation.version
+        relation.extend(_objects(10))
+        assert relation.version == before + 1
+        assert len(relation) == 10
+
+    def test_empty_extend_does_not_bump(self):
+        relation = Relation("r", _objects(2))
+        before = relation.version
+        relation.extend([])
+        assert relation.version == before
+
+    def test_extend_is_atomic_on_duplicates(self):
+        relation = Relation("r")
+        relation.insert(GenericObject([0.0], object_id=5))
+        before = relation.version
+        batch = [GenericObject([1.0], object_id=6),
+                 GenericObject([2.0], object_id=5)]  # collides with stored row
+        with pytest.raises(CatalogError):
+            relation.extend(batch)
+        assert len(relation) == 1
+        assert relation.version == before
+
+    def test_extend_rejects_duplicates_within_the_batch(self):
+        relation = Relation("r")
+        batch = [GenericObject([1.0], object_id=9),
+                 GenericObject([2.0], object_id=9)]
+        with pytest.raises(CatalogError):
+            relation.extend(batch)
+        assert len(relation) == 0
+
+    def test_insert_still_bumps_per_row(self):
+        relation = Relation("r")
+        relation.insert(GenericObject([1.0]))
+        relation.insert(GenericObject([2.0]))
+        assert relation.version == 2
+
+
+class TestStateTokenScoping:
+    """state_token only enumerates indexes registered on the asked relation."""
+
+    def test_token_lists_only_own_indexes(self):
+        database = Database()
+        database.create_relation("a", _objects(2))
+        database.create_relation("b")
+        database.register_index("a", [1, 2, 3], "primary")
+        database.register_index("b", [1])
+        _, _, index_sizes = database.state_token("a")
+        assert index_sizes == (("primary", 3),)
+
+    def test_token_changes_on_own_index_growth(self):
+        database = Database()
+        database.create_relation("a", _objects(2))
+        index = [1]
+        database.register_index("a", index)
+        before = database.state_token("a")
+        index.append(2)
+        assert database.state_token("a") != before
+
+    def test_token_order_independent_of_registration_order(self):
+        first = Database()
+        first.create_relation("a")
+        first.register_index("a", [1], "x")
+        first.register_index("a", [1, 2], "y")
+        second = Database()
+        second.create_relation("a")
+        second.register_index("a", [1, 2], "y")
+        second.register_index("a", [1], "x")
+        assert first.state_token("a")[2] == second.state_token("a")[2]
+
+    def test_indexes_on_lists_one_relations_indexes(self):
+        database = Database()
+        database.create_relation("a")
+        database.create_relation("b")
+        primary, other = object(), object()
+        database.register_index("a", primary, "primary")
+        database.register_index("b", other)
+        assert database.indexes_on("a") == {"primary": primary}
+        assert database.indexes_on("b") == {"default": other}
+        assert database.indexes_on("missing") == {}
