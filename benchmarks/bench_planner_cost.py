@@ -1,0 +1,175 @@
+"""PLANNER — does the cost-based planner flip index→scan where the hardware says to?
+
+The evaluation's figures 10–12 locate an index/scan crossover: below some
+query radius the k-index wins, above it the sequential scan does.  PR 4
+turned that observation into a *decision* — the planner prices both plans
+from relation statistics and picks the argmin.  This benchmark closes the
+loop: it sweeps the query radius across the selectivity spectrum, measures
+the actual I/O of both plans at every radius (index: tree node reads plus
+per-candidate record fetches; scan: sequential data-page reads), and checks
+
+* the planner's chosen plan is never more than 15% worse in measured I/O
+  than the best alternative at that radius, and
+* the radius where the planner flips lies within one sweep step of the
+  radius where the measured curves actually cross, and
+* ``explain()`` shows the rejected alternative with a higher estimated cost
+  than the chosen plan.
+
+Runnable under pytest-benchmark like the other ``bench_*`` files, or
+directly as a script; the CI smoke job runs the script on a tiny workload
+with ``--check`` turning the claims into hard assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import pytest
+
+from repro.core.session import connect
+from repro.index.kindex import KIndex
+from repro.index.scan import SequentialScan
+from repro.timeseries.features import SeriesFeatureExtractor
+from repro.timeseries.generators import random_walk_collection
+
+#: Answer-set fractions the radius sweep targets (via the sampled distance
+#: histogram), spanning "a handful of answers" to "most of the relation".
+SWEEP_FRACTIONS = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.55, 0.8]
+TOLERANCE = 1.15
+
+
+def _build(num_series: int, length: int, seed: int = 17):
+    data = random_walk_collection(num_series, length, seed=seed)
+    extractor = SeriesFeatureExtractor(2)
+    session = connect(answer_cache_size=0)
+    session.relation("walks").insert_many(data) \
+        .with_index(KIndex.bulk_load(data, extractor))
+    scan = SequentialScan(extractor)
+    scan.extend(data)
+    return session, data, scan
+
+
+def run_sweep(num_series: int = 500, length: int = 64,
+              num_queries: int = 8) -> dict:
+    """Sweep the radius, measure both plans, record the planner's choices."""
+    session, data, scan = _build(num_series, length)
+    stats = session.analyze("walks")
+    index = session.database.index("walks")
+    queries = data[:: max(1, len(data) // num_queries)][:num_queries]
+
+    rows = []
+    for fraction in SWEEP_FRACTIONS:
+        radius = stats.answer_quantile(fraction)
+        if radius is None or radius <= 0 or (rows and radius <= rows[-1]["radius"]):
+            continue
+        index_io = 0.0
+        for query in queries:
+            result = index.range_query(query, radius)
+            index_io += result.statistics.io_total
+        index_io /= len(queries)
+        scan_io = float(scan.range_query(queries[0], radius).statistics.io_total)
+        text = f"SELECT FROM walks WHERE dist(series, $q) < {radius!r}"
+        plan = session.engine.plan(text)
+        family = type(plan).__name__
+        chosen_io = index_io if family == "IndexRangePlan" else scan_io
+        rows.append({
+            "fraction": fraction, "radius": radius,
+            "index_io": index_io, "scan_io": scan_io,
+            "family": family, "chosen_io": chosen_io,
+            "estimated": plan.estimated_cost.total,
+            "explain": session.explain(text),
+        })
+
+    measured_flip = next((i for i, row in enumerate(rows)
+                          if row["scan_io"] < row["index_io"]), len(rows))
+    planner_flip = next((i for i, row in enumerate(rows)
+                         if row["family"] != "IndexRangePlan"), len(rows))
+    return {"rows": rows, "measured_flip": measured_flip,
+            "planner_flip": planner_flip, "num_series": num_series,
+            "num_queries": len(queries)}
+
+
+def check(results: dict) -> list[str]:
+    """The hard assertions behind ``--check``; returns failure messages."""
+    failures = []
+    for row in results["rows"]:
+        best = min(row["index_io"], row["scan_io"])
+        if row["chosen_io"] > TOLERANCE * best + 0.5:
+            failures.append(
+                f"radius {row['radius']:.3g}: chosen {row['family']} measured "
+                f"{row['chosen_io']:.1f} I/O, more than 15% worse than the "
+                f"best alternative's {best:.1f}")
+    if abs(results["planner_flip"] - results["measured_flip"]) > 1:
+        failures.append(
+            f"planner flips at sweep step {results['planner_flip']} but the "
+            f"measured curves cross at step {results['measured_flip']} "
+            "(more than one step apart)")
+    scan_rows = [row for row in results["rows"]
+                 if row["family"] == "ScanRangePlan"]
+    if not scan_rows:
+        failures.append("the planner never chose the scan across the sweep")
+    else:
+        transcript = scan_rows[-1]["explain"]
+        if "rejected IndexRangePlan" not in transcript:
+            failures.append("explain() does not show the rejected index plan")
+    index_rows = [row for row in results["rows"]
+                  if row["family"] == "IndexRangePlan"]
+    if not index_rows:
+        failures.append("the planner never chose the index across the sweep")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="planner-cost")
+def bench_planner_sweep(benchmark):
+    results = benchmark(lambda: run_sweep(300, 64, 6))
+    assert not check(results)
+
+
+# ----------------------------------------------------------------------
+# script entry point (used by the CI smoke job)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--series", type=int, default=500,
+                        help="relation size (default 500)")
+    parser.add_argument("--length", type=int, default=64,
+                        help="series length (default 64)")
+    parser.add_argument("--queries", type=int, default=8,
+                        help="queries measured per radius (default 8)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the planner stays within 15% of "
+                             "the best plan and flips at the measured "
+                             "crossover")
+    arguments = parser.parse_args(argv)
+    if arguments.series < 10 or arguments.queries < 1 or arguments.length < 8:
+        parser.error("--series >= 10, --queries >= 1, --length >= 8 required")
+    results = run_sweep(arguments.series, arguments.length, arguments.queries)
+    print(f"== cost-based planner vs measured I/O ({results['num_series']} walks, "
+          f"{results['num_queries']} queries per radius) ==")
+    print(f"{'radius':>10} {'answer%':>8} {'index I/O':>10} {'scan I/O':>9} "
+          f"{'estimated':>10}  chosen")
+    for row in results["rows"]:
+        print(f"{row['radius']:10.3g} {100 * row['fraction']:7.1f}% "
+              f"{row['index_io']:10.1f} {row['scan_io']:9.1f} "
+              f"{row['estimated']:10.1f}  {row['family']}")
+    print(f"measured crossover at sweep step {results['measured_flip']}, "
+          f"planner flips at step {results['planner_flip']}")
+    scan_rows = [row for row in results["rows"]
+                 if row["family"] == "ScanRangePlan"]
+    if scan_rows:
+        print("\nexplain() at the last swept radius:")
+        print(scan_rows[-1]["explain"])
+    failures = check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if arguments.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

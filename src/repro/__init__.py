@@ -78,10 +78,12 @@ from .core.patterns import (
 )
 from .core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery, SimilarityQuery
 from .core.query.builder import Param, Q, QueryBuilder
+from .core.query.costmodel import CostEstimate, QueryCostModel
 from .core.query.executor import QueryEngine, QueryOutcome
 from .core.query.parser import parse as parse_query
-from .core.query.planner import Planner, explain
+from .core.query.planner import Planner, RejectedPlan, explain
 from .core.session import BoundQuery, PreparedQuery, RelationHandle, Session, connect
+from .core.stats import DistanceHistogram, RelationStatistics
 from .core.rules import TransformationRuleSet
 from .core.similarity import SimilarityEngine, is_similar, transformation_distance
 from .core.spaces import PolarSpace, RectangularSpace
@@ -151,6 +153,8 @@ __all__ = [
     "RelationPattern", "TransformedPattern",
     "RangeQuery", "NearestNeighborQuery", "AllPairsQuery", "SimilarityQuery",
     "QueryEngine", "QueryOutcome", "parse_query", "Planner", "explain",
+    "CostEstimate", "QueryCostModel", "RejectedPlan",
+    "DistanceHistogram", "RelationStatistics",
     "connect", "Session", "PreparedQuery", "BoundQuery", "RelationHandle",
     "Q", "Param", "QueryBuilder",
     "TransformationRuleSet",

@@ -230,6 +230,8 @@ class Database:
         #: never scan indexes registered on *other* relations.
         self._indexes: dict[str, dict[str, Any]] = {}
         self._distance_providers: dict[str, DistanceProvider] = {}
+        #: Optimizer statistics per relation (see :mod:`repro.core.stats`).
+        self._statistics: dict[str, Any] = {}
         self._catalog_version = 0
 
     # ------------------------------------------------------------------
@@ -260,6 +262,7 @@ class Database:
         del self._relations[name]
         self._indexes.pop(name, None)
         self._distance_providers.pop(name, None)
+        self._statistics.pop(name, None)
         self._catalog_version += 1
 
     def relations(self) -> list[str]:
@@ -291,8 +294,9 @@ class Database:
 
     def state_token(self, relation_name: str) -> tuple:
         """A hashable token that changes whenever query answers over the
-        relation could change: catalog shape, relation contents, or the size
-        of any index registered on the relation.
+        relation could change — catalog shape, relation contents, the size
+        of any index registered on the relation — or whenever the plan for
+        them could (the statistics epoch bumped by :meth:`analyze`).
 
         Query caches embed the token in their keys, so mutation invalidates
         cached entries without any explicit flushing.  The per-relation index
@@ -305,7 +309,8 @@ class Database:
             (name, len(index) if hasattr(index, "__len__") else -1)
             for name, index in index_map.items()
         ))
-        return (self._catalog_version, relation.version, index_sizes)
+        return (self._catalog_version, relation.version, index_sizes,
+                self.stats_epoch(relation_name))
 
     def has_index(self, relation_name: str, index_name: str = "default") -> bool:
         """Whether an index is registered for the relation."""
@@ -362,6 +367,65 @@ class Database:
     def has_distance_provider(self, relation_name: str) -> bool:
         """Whether the relation has a registered distance provider."""
         return relation_name in self._distance_providers
+
+    # ------------------------------------------------------------------
+    # optimizer statistics
+    # ------------------------------------------------------------------
+    def analyze(self, relation_name: str, *, sample_size: int | None = None) -> Any:
+        """Collect (or re-collect) optimizer statistics for a relation.
+
+        Returns the fresh :class:`~repro.core.stats.RelationStatistics`.
+        Each explicit ``analyze`` bumps the relation's statistics *epoch*,
+        which folds into :meth:`state_token` — cached plans and answers over
+        the relation are invalidated by construction, so the next query is
+        re-planned against the new statistics.  Feedback corrections learned
+        from executed queries are reset: an explicit ``analyze`` is a fresh
+        measurement.
+        """
+        from .stats import collect_statistics
+
+        kwargs = {} if sample_size is None else {"sample_size": sample_size}
+        stats = collect_statistics(self, relation_name, **kwargs)
+        previous = self._statistics.get(relation_name)
+        stats.epoch = (previous.epoch + 1) if previous is not None else 1
+        self._statistics[relation_name] = stats
+        return stats
+
+    def statistics_for(self, relation_name: str, *, collect: bool = True) -> Any:
+        """The relation's statistics, collecting them lazily on first use.
+
+        Lazy collection keeps epoch 0 — indistinguishable from "never
+        analyzed" in :meth:`state_token`, so it does not invalidate caches.
+        Statistics whose basis went stale (the relation grew past a size
+        band, or the index set changed) are refreshed in place, again
+        without an epoch bump: the state token already changed through the
+        relation/index components, so the caches were invalidated anyway.
+        With ``collect=False`` returns ``None`` instead of collecting.
+        """
+        from .stats import collect_statistics, statistics_basis
+
+        if relation_name not in self._relations:
+            return None
+        stats = self._statistics.get(relation_name)
+        if stats is not None \
+                and stats.basis == statistics_basis(self, relation_name):
+            return stats
+        if not collect:
+            return stats
+        fresh = collect_statistics(self, relation_name)
+        if stats is not None:
+            # Lazy refresh: keep the epoch and carry the learned corrections.
+            fresh.epoch = stats.epoch
+            fresh.candidate_correction = stats.candidate_correction
+            fresh.answer_correction = stats.answer_correction
+            fresh.observations = stats.observations
+        self._statistics[relation_name] = fresh
+        return fresh
+
+    def stats_epoch(self, relation_name: str) -> int:
+        """The relation's statistics epoch (0 until the first ``analyze``)."""
+        stats = self._statistics.get(relation_name)
+        return 0 if stats is None else stats.epoch
 
     def indexes(self) -> list[tuple[str, str]]:
         """All (relation, index name) pairs."""

@@ -4,9 +4,10 @@ fluent builder), planner, executor and caches."""
 from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
 from .builder import Param, Q, QueryBuilder
 from .cache import CacheStats, LRUCache
+from .costmodel import CostEstimate, QueryCostModel
 from .executor import QueryEngine, QueryOutcome
 from .parser import parse, tokenize
-from .planner import Plan, Planner, explain
+from .planner import Plan, Planner, RejectedPlan, explain
 
 __all__ = [
     "Query", "RangeQuery", "NearestNeighborQuery", "AllPairsQuery",
@@ -14,4 +15,5 @@ __all__ = [
     "Q", "Param", "QueryBuilder",
     "QueryEngine", "QueryOutcome", "parse", "tokenize",
     "Plan", "Planner", "explain", "CacheStats", "LRUCache",
+    "CostEstimate", "QueryCostModel", "RejectedPlan",
 ]

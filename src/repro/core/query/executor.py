@@ -233,12 +233,51 @@ class QueryEngine:
                     outcome.elapsed_seconds = time.perf_counter() - started
                     outcomes[index] = outcome
         for index, outcome in enumerate(outcomes):
-            if not outcome.from_cache and answer_keys[index] is not None:
+            if outcome.from_cache:
+                continue
+            self._observe_outcome(nodes[index], outcome)
+            if answer_keys[index] is not None:
                 self.answer_cache.put(
                     answer_keys[index],
                     (outcome.plan, list(outcome.answers),
                      replace(outcome.statistics)))
         return outcomes
+
+    def _observe_outcome(self, node: Query, outcome: QueryOutcome) -> None:
+        """Feedback loop: fold an executed range query's observed candidate
+        and answer fractions into the relation's statistics (bounded EWMA —
+        see :meth:`RelationStatistics.observe_range`), so repeated workloads
+        converge on the measured index/scan crossover without re-analyzing.
+
+        Only untransformed range queries feed back: a transformation changes
+        the distance distribution the histograms describe.
+        """
+        if not isinstance(node, RangeQuery) or node.transformation is not None:
+            return
+        if node.relation not in self.database:
+            return
+        stats = self.database.statistics_for(node.relation, collect=False)
+        if stats is None:
+            return
+        count = len(self.database.relation(node.relation))
+        if count == 0:
+            return
+        plan = outcome.plan
+        candidate_fraction = None
+        if isinstance(plan, IndexRangePlan):
+            candidate_fraction = outcome.statistics.candidates / count
+        elif isinstance(plan, EngineRangePlan) and not plan.via_engine \
+                and plan.index_name is not None:
+            # The metric index counts one pivot distance per visited node in
+            # ``candidates``; the statistics' pair-fraction prediction models
+            # the unpruned *bucket entries* only, so subtract the node visits
+            # before comparing like with like.
+            bucket_entries = max(0, outcome.statistics.candidates
+                                 - outcome.statistics.node_accesses)
+            candidate_fraction = bucket_entries / count
+        stats.observe_range(node.epsilon,
+                            candidate_fraction=candidate_fraction,
+                            answer_fraction=len(outcome.answers) / count)
 
     @staticmethod
     def _normalize_bindings(parameters, count: int
@@ -559,7 +598,11 @@ class QueryEngine:
             answers = scan.nearest_neighbors(query_series, node.k,
                                              transformation=transformation,
                                              transform_query=node.transform_query)
-            return QueryOutcome(plan=plan, answers=answers)
+            statistics = QueryStatistics(node_accesses=scan.data_pages,
+                                         candidates=len(scan),
+                                         postprocessed=len(scan))
+            return QueryOutcome(plan=plan, answers=answers,
+                                statistics=statistics)
         if isinstance(node, AllPairsQuery):
             early = plan.early_abandon if isinstance(plan, ScanJoinPlan) else True
             pairs, statistics = scan.all_pairs(node.epsilon, transformation=transformation,

@@ -1,49 +1,62 @@
 """Physical planning: choose how a similarity query will be executed.
 
-For relations of time series the planner picks between an **index plan** (use
-the k-index registered for the relation, traversed under the query's
-transformation) and a **scan plan** (sequential scan with early abandoning).
-The choice rules encode the findings of the evaluation:
+The planner is **statistics-driven**: instead of hard-coding the index/scan
+crossover the evaluation measured, it enumerates every applicable physical
+plan, prices each with the :class:`~repro.core.query.costmodel.QueryCostModel`
+over the relation's :class:`~repro.core.stats.RelationStatistics` (collected
+by ``analyze`` or lazily on first plan), and picks the cheapest.  Every
+produced plan carries its :class:`CostEstimate` and the rejected
+alternatives with theirs, so ``explain()`` can show not just *what* will run
+but *why the others will not* — and the executor's measured counters close
+the loop by feeding observed selectivities back into the statistics.
 
-* with no index registered there is nothing to choose;
-* a transformation that is not safe for the index's feature space cannot be
-  pushed into the index, so the scan plan is used;
-* very unselective range queries (threshold so large that a big fraction of
-  the relation qualifies) are better served by the scan — the crossover the
-  answer-set-size experiment measures; the planner uses a crude selectivity
-  estimate based on the threshold relative to the spread of indexed points.
+Plan families:
 
-Relations that registered a **distance provider** (any non-spatial domain —
-strings being the built-in example) are served by a third plan family, the
-**engine plans**: exact range/nearest-neighbour evaluation through the
-provider's metric (accelerated by a registered
-:class:`~repro.index.metric.MetricIndex` when one exists, since triangle
-inequality pruning needs a true metric), and bounded-cost ``SIM`` predicates
-through the generic :class:`~repro.core.similarity.SimilarityEngine` search.
-A ``SIM`` query must not prune with the metric index at radius ``epsilon`` —
-the transformation distance lies *below* the base distance — but when the
-provider declares that rule costs bound distance movement
-(``cost_bounds_distance``), screening candidates at the expanded radius
-``cost_bound + epsilon`` is admissible by the triangle inequality, and the
-planner uses the index for exactly that.
+* relations of time series choose between an **index plan** (the registered
+  k-index, traversed under the query's transformation when it is safe for
+  the index's feature space) and a **scan plan** (sequential scan with early
+  abandoning) — the choice *is* the relation-size / selectivity /
+  answer-set-size tradeoff of the evaluation's figures, decided per query
+  from the estimates rather than assumed;
+* relations with a **distance provider** (strings and any other non-spatial
+  domain) are served by the **engine plans**: exact range/nearest-neighbour
+  evaluation through the provider's metric, accelerated by a registered
+  :class:`~repro.index.metric.MetricIndex` when its estimated
+  triangle-inequality pruning beats the brute provider scan, and
+  bounded-cost ``SIM`` predicates through the generic
+  :class:`~repro.core.similarity.SimilarityEngine` search.  A ``SIM`` query
+  must not prune with the metric index at radius ``epsilon`` — the
+  transformation distance lies *below* the base distance — but when the
+  provider declares that rule costs bound distance movement
+  (``cost_bounds_distance``), screening candidates at the expanded radius
+  ``cost_bound + epsilon`` is admissible by the triangle inequality.
+
+An index of **unknown kind** (no feature space, no extractor, not metric) is
+still enumerated — it may well work — but its cost cannot be estimated, so
+it is priced equal to the scan with ``can_estimate=False`` and *loses the
+tie*: the planner never silently assumes an unknown index is good, and the
+assumption is stated in the ``explain()`` output instead of hidden.
 
 The planner produces small plan dataclasses; the executor interprets them.
-An ``explain`` helper renders a plan as a one-line string for logging and for
-the examples.
+The ``explain`` helper renders a plan (optionally with the measured
+statistics of an execution) as a short multi-line report.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
+import math
+import warnings
+from dataclasses import dataclass, replace
 
 from ..database import Database
 from ..errors import QueryPlanningError
 from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
+from .costmodel import CostEstimate, QueryCostModel
 
 __all__ = [
     "Plan",
+    "RejectedPlan",
+    "CostEstimate",
     "IndexRangePlan",
     "ScanRangePlan",
     "IndexNearestPlan",
@@ -57,6 +70,21 @@ __all__ = [
     "explain",
 ]
 
+#: Estimates within this relative band count as a tie; ties go to the plan
+#: enumerated first (the index family — it scales with selectivity, the scan
+#: does not), except that plans without a real estimate always lose.
+TIE_TOLERANCE = 0.08
+
+
+@dataclass(frozen=True)
+class RejectedPlan:
+    """A plan alternative the planner considered and priced but did not pick."""
+
+    family: str
+    access_path: str
+    estimate: CostEstimate
+    reason: str
+
 
 @dataclass(frozen=True)
 class Plan:
@@ -64,6 +92,12 @@ class Plan:
 
     query: Query
     reason: str
+    #: The cost model's prediction for this plan (``None`` for plans built
+    #: outside the planner, e.g. directly in tests).
+    estimated_cost: CostEstimate | None = None
+    #: The alternatives enumerated alongside this plan, with their estimates
+    #: and the "why not" the explain output renders.
+    rejected: tuple[RejectedPlan, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -132,22 +166,47 @@ class EngineJoinPlan(Plan):
     """Answer an all-pairs query by comparing objects through the provider."""
 
 
+def _beats(challenger: CostEstimate, incumbent: CostEstimate) -> bool:
+    """Whether a later-enumerated plan displaces the current best."""
+    if challenger.can_estimate and not incumbent.can_estimate:
+        # A real estimate wins any tie against an assumed one.
+        return challenger.total <= incumbent.total
+    return challenger.total < incumbent.total * (1.0 - TIE_TOLERANCE)
+
+
 class Planner:
     """Chooses a physical plan given the database catalog.
 
     Parameters
     ----------
     database:
-        The catalog (relations and registered indexes).
+        The catalog (relations, registered indexes, distance providers and
+        the per-relation statistics the cost model reads).
     selectivity_crossover:
-        Estimated fraction of the relation beyond which a range query is
-        assumed cheaper by scanning (the evaluation observed roughly one
-        third of the relation).
+        .. deprecated::
+            The planner no longer hard-codes a crossover; it estimates costs
+            from relation statistics.  The argument is still accepted and
+            seeds the cost model's *default selectivity* (used only when a
+            relation has no usable statistics), but passing it emits a
+            :class:`DeprecationWarning`.
     """
 
-    def __init__(self, database: Database, selectivity_crossover: float = 0.33) -> None:
+    def __init__(self, database: Database,
+                 selectivity_crossover: float | None = None) -> None:
         self.database = database
-        self.selectivity_crossover = float(selectivity_crossover)
+        if selectivity_crossover is not None:
+            warnings.warn(
+                "Planner(selectivity_crossover=...) is deprecated: the planner "
+                "now estimates costs from relation statistics (see "
+                "Database.analyze). The value only seeds the cost model's "
+                "default selectivity for relations without statistics.",
+                DeprecationWarning, stacklevel=2)
+        #: Deprecated alias, kept for introspection; feeds the cost model's
+        #: default selectivity.
+        self.selectivity_crossover = float(
+            selectivity_crossover if selectivity_crossover is not None else 0.33)
+        self.cost_model = QueryCostModel(
+            default_selectivity=self.selectivity_crossover)
         #: How many times :meth:`plan` ran.  Prepared statements promise
         #: "re-plan at most once per (AST, catalog state)"; tests and
         #: benchmarks read this counter to hold them to it.
@@ -178,6 +237,58 @@ class Planner:
         raise QueryPlanningError(f"cannot plan query of type {type(query).__name__}")
 
     # ------------------------------------------------------------------
+    # choice machinery
+    # ------------------------------------------------------------------
+    def _relation_facts(self, relation_name: str):
+        stats = self.database.statistics_for(relation_name)
+        cardinality = len(self.database.relation(relation_name))
+        return stats, cardinality
+
+    def _choose(self, alternatives: list[Plan]) -> Plan:
+        """Pick the argmin-estimated plan; record the others as rejected."""
+        best = alternatives[0]
+        for challenger in alternatives[1:]:
+            if _beats(challenger.estimated_cost, best.estimated_cost):
+                best = challenger
+        rejected = tuple(
+            RejectedPlan(family=type(plan).__name__,
+                         access_path=_access_path(plan),
+                         estimate=plan.estimated_cost,
+                         reason=self._why_not(plan, best))
+            for plan in alternatives if plan is not best)
+        return replace(best, reason=self._decorate(best, alternatives),
+                       rejected=rejected)
+
+    @staticmethod
+    def _why_not(plan: Plan, chosen: Plan) -> str:
+        estimate, winner = plan.estimated_cost, chosen.estimated_cost
+        if not estimate.can_estimate:
+            return (f"{plan.reason}; cost could not be estimated, so it loses "
+                    f"the tie to the chosen plan's {winner.total:.1f}")
+        if estimate.total >= winner.total:
+            return (f"estimated cost {estimate.total:.1f} exceeds the chosen "
+                    f"plan's {winner.total:.1f}")
+        return (f"estimated cost {estimate.total:.1f} is within the tie band "
+                f"of the chosen plan's {winner.total:.1f}; the preferred "
+                "access path is kept")
+
+    @staticmethod
+    def _decorate(best: Plan, alternatives: list[Plan]) -> str:
+        others = [plan for plan in alternatives if plan is not best]
+        if not others:
+            return best.reason
+        runner_up = min(others, key=lambda plan: plan.estimated_cost.total)
+        text = (f"{best.reason}; estimated cost {best.estimated_cost.total:.1f} "
+                f"vs {type(runner_up).__name__} "
+                f"{runner_up.estimated_cost.total:.1f}")
+        scan_families = (ScanRangePlan, ScanNearestPlan, ScanJoinPlan)
+        index_families = (IndexRangePlan, IndexNearestPlan, IndexJoinPlan)
+        if isinstance(best, scan_families) and \
+                any(isinstance(plan, index_families) for plan in others):
+            text += " — past the index/scan crossover"
+        return text
+
+    # ------------------------------------------------------------------
     # provider-backed (domain-generic) planning
     # ------------------------------------------------------------------
     def _metric_index_name(self, relation: str) -> str | None:
@@ -194,116 +305,148 @@ class Planner:
                 f"relation {query.relation!r} is compared through the distance "
                 f"provider {provider.name!r}; USING transformations only apply to "
                 "feature-space (time-series) relations")
-        if isinstance(query, SimilarityQuery):
-            if provider.rules is None:
-                raise QueryPlanningError(
-                    f"distance provider {provider.name!r} has no transformation "
-                    "rules; SIM queries need a rule set or rule factory")
-            index_name = None
-            if provider.cost_bounds_distance and np.isfinite(query.cost_bound):
-                # sim(x, q) requires distance(x, q) <= cost_bound + epsilon
-                # when rules move objects by at most their cost, so the
-                # metric index can screen candidates at the expanded radius.
-                index_name = self._metric_index_name(query.relation)
-            if index_name is not None:
-                return EngineRangePlan(
-                    query=query, via_engine=True, index_name=index_name,
-                    reason=(f"metric index {index_name!r} screens candidates at "
-                            "radius cost_bound + epsilon, then the similarity "
-                            "engine verifies each"))
-            return EngineRangePlan(
-                query=query, via_engine=True,
-                reason=(f"bounded-cost search through the similarity engine over "
-                        f"{provider.name!r} rules"))
+        stats, cardinality = self._relation_facts(query.relation)
         index_name = self._metric_index_name(query.relation)
+        if isinstance(query, SimilarityQuery):
+            return self._plan_sim(query, provider, stats, cardinality, index_name)
         if isinstance(query, RangeQuery):
+            alternatives = []
             if index_name is not None:
-                return EngineRangePlan(
+                alternatives.append(EngineRangePlan(
                     query=query, index_name=index_name,
-                    reason=f"metric index {index_name!r} prunes by triangle inequality")
-            return EngineRangePlan(
+                    reason=f"metric index {index_name!r} prunes by triangle inequality",
+                    estimated_cost=self.cost_model.metric_range(
+                        stats, cardinality, query.epsilon)))
+            alternatives.append(EngineRangePlan(
                 query=query,
-                reason=f"no metric index; comparing every object through {provider.name!r}")
+                reason=f"comparing every object through {provider.name!r}",
+                estimated_cost=self.cost_model.provider_scan_range(
+                    stats, cardinality, query.epsilon)))
+            return self._choose(alternatives)
         if isinstance(query, NearestNeighborQuery):
+            alternatives = []
             if index_name is not None:
-                return EngineNearestPlan(
+                alternatives.append(EngineNearestPlan(
                     query=query, index_name=index_name,
-                    reason=f"metric index {index_name!r} prunes by triangle inequality")
-            return EngineNearestPlan(
+                    reason=f"metric index {index_name!r} prunes by triangle inequality",
+                    estimated_cost=self.cost_model.metric_nearest(
+                        stats, cardinality, query.k)))
+            alternatives.append(EngineNearestPlan(
                 query=query,
-                reason=f"no metric index; comparing every object through {provider.name!r}")
+                reason=f"comparing every object through {provider.name!r}",
+                estimated_cost=self.cost_model.provider_scan_nearest(
+                    stats, cardinality, query.k)))
+            return self._choose(alternatives)
         if isinstance(query, AllPairsQuery):
-            return EngineJoinPlan(
+            return self._choose([EngineJoinPlan(
                 query=query,
-                reason=f"nested comparison of all pairs through {provider.name!r}")
+                reason=f"nested comparison of all pairs through {provider.name!r}",
+                estimated_cost=self.cost_model.provider_join(
+                    stats, cardinality, query.epsilon))])
         raise QueryPlanningError(f"cannot plan query of type {type(query).__name__}")
 
+    def _plan_sim(self, query: SimilarityQuery, provider, stats, cardinality: int,
+                  index_name: str | None) -> Plan:
+        if provider.rules is None:
+            raise QueryPlanningError(
+                f"distance provider {provider.name!r} has no transformation "
+                "rules; SIM queries need a rule set or rule factory")
+        screening_admissible = (provider.cost_bounds_distance
+                                and math.isfinite(query.cost_bound))
+        alternatives = []
+        if screening_admissible and index_name is not None:
+            # sim(x, q) requires distance(x, q) <= cost_bound + epsilon when
+            # rules move objects by at most their cost, so the metric index
+            # can screen candidates at the expanded radius.
+            alternatives.append(EngineRangePlan(
+                query=query, via_engine=True, index_name=index_name,
+                reason=(f"metric index {index_name!r} screens candidates at "
+                        "radius cost_bound + epsilon, then the similarity "
+                        "engine verifies each"),
+                estimated_cost=self.cost_model.sim_engine(
+                    stats, cardinality, query.epsilon, query.cost_bound,
+                    provider, screened_by_index=True, direct_screen=False)))
+        alternatives.append(EngineRangePlan(
+            query=query, via_engine=True,
+            reason=(f"bounded-cost search through the similarity engine over "
+                    f"{provider.name!r} rules"),
+            estimated_cost=self.cost_model.sim_engine(
+                stats, cardinality, query.epsilon, query.cost_bound, provider,
+                screened_by_index=False, direct_screen=screening_admissible)))
+        return self._choose(alternatives)
+
     # ------------------------------------------------------------------
-    def _index_usable(self, query: Query, transformation) -> tuple[bool, str]:
+    # feature-space (time-series) planning
+    # ------------------------------------------------------------------
+    def _index_usable(self, query: Query, transformation
+                      ) -> tuple[bool, str, bool]:
+        """``(usable, reason, kind known)`` for the relation's default index.
+
+        An index of unknown kind (no feature space / extractor) remains
+        *usable* — it may answer the query — but ``kind known`` is ``False``:
+        its cost cannot be estimated, so the planner makes it lose cost ties
+        to the scan instead of assuming compatibility silently.
+        """
         if not self.database.has_index(query.relation):
-            return False, "no index registered for the relation"
-        if transformation is None:
-            return True, "index available"
+            return False, "no index registered for the relation", False
         index = self.database.index(query.relation)
         space = getattr(index, "space", None)
         extractor = getattr(index, "extractor", None)
         if space is None or extractor is None:
-            return True, "index available (unknown kind, assuming compatible)"
+            return True, ("index of unknown kind — compatibility assumed, "
+                          "not verified"), False
+        if transformation is None:
+            return True, "index available", True
         try:
             linear = transformation.to_linear(extractor.num_coefficients,
                                               include_extra=extractor.include_stats)
         except Exception as error:  # noqa: BLE001 - any failure means "cannot push down"
-            return False, f"transformation cannot be applied to the index ({error})"
+            return False, f"transformation cannot be applied to the index ({error})", True
         if not linear.is_safe_for(space):
-            return False, "transformation is not safe for the index's feature space"
-        return True, "index available and transformation is safe"
+            return False, "transformation is not safe for the index's feature space", True
+        return True, "index available and transformation is safe", True
 
-    def _estimate_selectivity(self, query: RangeQuery) -> float:
-        """Fraction of the relation a range query is expected to return.
+    def _unknown_kind_estimate(self, scan_estimate: CostEstimate) -> CostEstimate:
+        """Price an unknown-kind index exactly at the scan's cost, flagged
+        unestimable — so it is chosen only when nothing else is and its tie
+        against the scan is always lost."""
+        return replace(scan_estimate, can_estimate=False,
+                       detail="unknown index kind: assumed no better than the scan")
 
-        Uses the spread of the indexed points (when an index exists) as a
-        scale: a threshold comparable to the data diameter catches most of
-        the relation.  This is deliberately crude — it only needs to separate
-        "tiny answer set" from "a third of the relation".
-        """
-        if not self.database.has_index(query.relation):
-            return 0.0
-        index = self.database.index(query.relation)
-        tree = getattr(index, "tree", None)
-        if tree is None or len(tree) == 0:
-            return 0.0
-        try:
-            root_mbr = tree.root.mbr()
-        except Exception:  # noqa: BLE001 - an empty root has no MBR
-            return 0.0
-        diameter = float(np.linalg.norm(root_mbr.high - root_mbr.low))
-        if diameter == 0.0:
-            return 1.0
-        return min(1.0, (2.0 * query.epsilon) / diameter)
+    def _plan_feature(self, query: Query, transformation, index_plan_type,
+                      scan_plan_type, index_estimator, scan_estimator) -> Plan:
+        usable, reason, known = self._index_usable(query, transformation)
+        stats, cardinality = self._relation_facts(query.relation)
+        scan_estimate = scan_estimator(stats, cardinality)
+        alternatives = []
+        if usable:
+            estimate = (index_estimator(stats, cardinality) if known
+                        else self._unknown_kind_estimate(scan_estimate))
+            alternatives.append(index_plan_type(
+                query=query, reason=reason, estimated_cost=estimate))
+        scan_reason = (f"sequential scan over {cardinality} records"
+                       if usable else reason)
+        alternatives.append(scan_plan_type(
+            query=query, reason=scan_reason, estimated_cost=scan_estimate))
+        return self._choose(alternatives)
 
     def _plan_range(self, query: RangeQuery, transformation) -> Plan:
-        usable, reason = self._index_usable(query, transformation)
-        if not usable:
-            return ScanRangePlan(query=query, reason=reason)
-        selectivity = self._estimate_selectivity(query)
-        if selectivity > self.selectivity_crossover:
-            return ScanRangePlan(
-                query=query,
-                reason=(f"estimated selectivity {selectivity:.2f} exceeds the index/scan "
-                        f"crossover {self.selectivity_crossover:.2f}"))
-        return IndexRangePlan(query=query, reason=reason)
+        return self._plan_feature(
+            query, transformation, IndexRangePlan, ScanRangePlan,
+            lambda stats, n: self.cost_model.index_range(stats, n, query.epsilon),
+            lambda stats, n: self.cost_model.scan_range(stats, n, query.epsilon))
 
     def _plan_nearest(self, query: NearestNeighborQuery, transformation) -> Plan:
-        usable, reason = self._index_usable(query, transformation)
-        if usable:
-            return IndexNearestPlan(query=query, reason=reason)
-        return ScanNearestPlan(query=query, reason=reason)
+        return self._plan_feature(
+            query, transformation, IndexNearestPlan, ScanNearestPlan,
+            lambda stats, n: self.cost_model.index_nearest(stats, n, query.k),
+            lambda stats, n: self.cost_model.scan_nearest(stats, n, query.k))
 
     def _plan_join(self, query: AllPairsQuery, transformation) -> Plan:
-        usable, reason = self._index_usable(query, transformation)
-        if usable:
-            return IndexJoinPlan(query=query, reason=reason)
-        return ScanJoinPlan(query=query, reason=reason)
+        return self._plan_feature(
+            query, transformation, IndexJoinPlan, ScanJoinPlan,
+            lambda stats, n: self.cost_model.index_join(stats, n, query.epsilon),
+            lambda stats, n: self.cost_model.scan_join(stats, n, query.epsilon))
 
 
 def _access_path(plan: Plan) -> str:
@@ -330,16 +473,37 @@ def _access_path(plan: Plan) -> str:
     return "via unknown access path"
 
 
-def explain(plan: Plan) -> str:
-    """One-line human-readable description of a plan.
+def explain(plan: Plan, statistics=None) -> str:
+    """Human-readable description of a plan (and, optionally, its execution).
 
-    Renders the plan family, the target relation, the predicate (the query's
-    canonical surface syntax) and the chosen access path, followed by the
-    planner's reason for the choice::
+    The first line renders the plan family, the target relation, the
+    predicate (the query's canonical surface syntax) and the chosen access
+    path, followed by the planner's reason for the choice::
 
         IndexRangePlan on 'walks': SELECT FROM walks WHERE DIST(OBJECT, $q)
         < 4.0 USING mavg10 | via index 'default' — index available and
-        transformation is safe
+        transformation is safe; estimated cost 12.3 vs ScanRangePlan 48.0
+
+    Plans produced by the cost-based planner add indented lines: the
+    estimated cost, the measured cost when ``statistics`` (a
+    :class:`~repro.index.kindex.QueryStatistics`, e.g. from an executed
+    :class:`QueryOutcome`) is supplied, and one "why not" line per rejected
+    alternative with its estimate.
     """
-    return (f"{type(plan).__name__} on {plan.query.relation!r}: "
-            f"{plan.query.describe()} | {_access_path(plan)} — {plan.reason}")
+    lines = [f"{type(plan).__name__} on {plan.query.relation!r}: "
+             f"{plan.query.describe()} | {_access_path(plan)} — {plan.reason}"]
+    if plan.estimated_cost is not None:
+        lines.append(f"  estimated: {plan.estimated_cost.render()}")
+    if statistics is not None:
+        lines.append(
+            f"  actual: {statistics.io_total} I/O accesses "
+            f"({statistics.node_accesses} node/page reads + "
+            f"{statistics.record_fetches} record fetches), "
+            f"{statistics.candidates} candidates, "
+            f"{statistics.postprocessed} postprocessed")
+    for rejected in plan.rejected:
+        estimate = (f"estimated {rejected.estimate.total:.1f}"
+                    if rejected.estimate is not None else "no estimate")
+        lines.append(f"  rejected {rejected.family} ({rejected.access_path}): "
+                     f"{estimate} — {rejected.reason}")
+    return "\n".join(lines)

@@ -331,6 +331,20 @@ class Session:
         self.engine.register_transformation(name, transformation)
         return self
 
+    def analyze(self, relation_name: str):
+        """Collect optimizer statistics for a relation (cardinality, extents,
+        distance histograms, index structure) and return them.
+
+        The cost-based planner reads these to price index-vs-scan
+        alternatives; an explicit ``analyze`` bumps the relation's statistics
+        epoch, which folds into the state token — cached plans and answers
+        are invalidated by construction and the next query re-plans against
+        the fresh numbers.  (Statistics are also collected lazily on first
+        plan; ``analyze`` exists to *refresh* them after the data changed
+        shape, and to do the sampling at a moment of the caller's choosing.)
+        """
+        return self.database.analyze(relation_name)
+
     # -- execution ---------------------------------------------------------
     def sql(self, query: str | Query | Any,
             parameters: Mapping[str, Any] | None = None,
@@ -352,7 +366,14 @@ class Session:
 
     def explain(self, query: str | Query | PreparedQuery | Any) -> str:
         """The plan a query would execute right now (same cache entry the
-        execution will hit, so this *is* the plan that runs)."""
+        execution will hit, so this *is* the plan that runs).
+
+        Renders the chosen plan with its estimated cost and one "why not"
+        line per rejected alternative.  Pass an executed
+        :class:`~repro.core.query.executor.QueryOutcome` to additionally
+        render the *measured* cost next to the estimate."""
+        if isinstance(query, QueryOutcome):
+            return explain_plan(query.plan, statistics=query.statistics)
         if isinstance(query, (PreparedQuery, BoundQuery)):
             return query.explain()
         return explain_plan(self.engine.plan(query))

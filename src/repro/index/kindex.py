@@ -37,7 +37,12 @@ from ..core.objects import FeatureVector
 from ..core.spaces import PolarSpace
 from ..core.transformations import LinearTransformation, RealLinearTransformation
 from ..storage.pages import PageStore
-from ..timeseries.features import SeriesFeatureExtractor, SeriesFeatures
+from ..timeseries.features import (
+    SeriesFeatureExtractor,
+    SeriesFeatures,
+    full_record_bytes,
+    record_distance,
+)
 from ..timeseries.series import TimeSeries
 from ..timeseries.transforms import SpectralTransformation
 from .geometry import Rect
@@ -50,18 +55,46 @@ __all__ = ["QueryStatistics", "RangeQueryResult", "NearestNeighborResult", "KInd
 
 @dataclass
 class QueryStatistics:
-    """Work counters for one query."""
+    """Work counters for one query.
+
+    ``node_accesses`` counts index-node (or, for sequential scans, data-page)
+    visits; ``record_fetches`` counts the full records fetched for exact
+    postprocessing — the random I/O an index pays per candidate but a scan
+    gets for free with the pages it already read.  ``io_total`` combines the
+    two into the evaluation's "disk access" currency, which is what the
+    cost-based planner estimates and the crossover benchmark compares.  The
+    ``internal/leaf`` split and the buffer counters are snapshots of
+    :class:`~repro.index.rtree.NodeAccessStats` and
+    :class:`~repro.storage.buffer.BufferStatistics` taken per query (per
+    *batch* for grouped traversals, whose shared totals expose the saving).
+    """
 
     node_accesses: int = 0
     candidates: int = 0
     postprocessed: int = 0
     elapsed_seconds: float = 0.0
+    record_fetches: int = 0
+    internal_node_accesses: int = 0
+    leaf_node_accesses: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+    @property
+    def io_total(self) -> int:
+        """Node/page accesses plus per-candidate record fetches."""
+        return self.node_accesses + self.record_fetches
 
     def as_dict(self) -> dict[str, float]:
         """The counters as a plain dictionary (for benchmark reports)."""
         return {"node_accesses": self.node_accesses, "candidates": self.candidates,
                 "postprocessed": self.postprocessed,
-                "elapsed_seconds": self.elapsed_seconds}
+                "elapsed_seconds": self.elapsed_seconds,
+                "record_fetches": self.record_fetches,
+                "io_total": self.io_total,
+                "internal_node_accesses": self.internal_node_accesses,
+                "leaf_node_accesses": self.leaf_node_accesses,
+                "buffer_hits": self.buffer_hits,
+                "buffer_misses": self.buffer_misses}
 
 
 @dataclass
@@ -191,6 +224,26 @@ class KIndex:
         """All indexed series, in insertion order."""
         return [series for series, _ in self._records.values()]
 
+    def structure_summary(self) -> dict[str, float]:
+        """The tree's structural facts plus the full-record size — what the
+        planner's cost model prices index traversals and scans with."""
+        summary = self.tree.structure_summary()
+        record_bytes = 64.0
+        if self._records:
+            _, features = next(iter(self._records.values()))
+            record_bytes = float(full_record_bytes(features.full_coefficients))
+        summary["record_bytes"] = record_bytes
+        return summary
+
+    def _snapshot_tree_stats(self, statistics: QueryStatistics) -> None:
+        """Copy the tree's access (and buffer) counters into the statistics."""
+        statistics.internal_node_accesses = self.tree.access_stats.internal
+        statistics.leaf_node_accesses = self.tree.access_stats.leaf
+        buffer = getattr(self.tree, "buffer", None)
+        if buffer is not None:
+            statistics.buffer_hits = buffer.stats.hits
+            statistics.buffer_misses = buffer.stats.misses
+
     # ------------------------------------------------------------------
     # transformation plumbing
     # ------------------------------------------------------------------
@@ -245,14 +298,7 @@ class KIndex:
 
     def _exact_distance(self, a: tuple[np.ndarray, float, float],
                         b: tuple[np.ndarray, float, float]) -> float:
-        # When one side carries fewer coefficients (a bare feature-point
-        # query), the distance is taken over the common prefix: still a valid
-        # lower bound by Parseval, and exact when both records are complete.
-        common = min(a[0].shape[0], b[0].shape[0])
-        total = float(np.sum(np.abs(a[0][:common] - b[0][:common]) ** 2))
-        if self.extractor.include_stats:
-            total += (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2
-        return float(np.sqrt(total))
+        return record_distance(a, b, self.extractor.include_stats)
 
     def _overlap_predicate(self):
         """Rectangle-overlap test aware of the polar layout's periodic angles."""
@@ -337,6 +383,8 @@ class KIndex:
                 result.answers.append((series, distance))
         result.answers.sort(key=lambda pair: pair[1])
         result.statistics.node_accesses = self.tree.access_stats.total
+        result.statistics.record_fetches = result.statistics.postprocessed
+        self._snapshot_tree_stats(result.statistics)
         result.statistics.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -467,6 +515,8 @@ class KIndex:
             results.append(result)
         elapsed_share = (time.perf_counter() - started) / len(queries)
         for result in results:
+            result.statistics.record_fetches = result.statistics.postprocessed
+            self._snapshot_tree_stats(result.statistics)
             result.statistics.elapsed_seconds = elapsed_share
         return results
 
@@ -535,7 +585,9 @@ class KIndex:
         result = NearestNeighborResult(answers=best[:k])
         result.statistics.candidates = pulled
         result.statistics.postprocessed = pulled
+        result.statistics.record_fetches = pulled
         result.statistics.node_accesses = self.tree.access_stats.total
+        self._snapshot_tree_stats(result.statistics)
         result.statistics.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -557,6 +609,9 @@ class KIndex:
             stats.node_accesses += result.statistics.node_accesses
             stats.candidates += result.statistics.candidates
             stats.postprocessed += result.statistics.postprocessed
+            stats.record_fetches += result.statistics.record_fetches
+            stats.internal_node_accesses += result.statistics.internal_node_accesses
+            stats.leaf_node_accesses += result.statistics.leaf_node_accesses
             for other, distance in result.answers:
                 if other.object_id != series.object_id:
                     pairs.append((series, other, distance))

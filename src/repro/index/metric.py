@@ -115,6 +115,30 @@ class MetricIndex:
             self._root = self._build(list(self._objects))
             self._dirty = False
 
+    def structure_summary(self) -> dict[str, float]:
+        """Structural facts for the cost model (building the tree if needed —
+        the same work the first query would do anyway)."""
+        self._ensure_built()
+
+        def walk(node) -> tuple[int, int, int]:
+            """(node count, leaf count, height) of a subtree."""
+            if node is None:
+                return 0, 0, 0
+            if isinstance(node, _Leaf):
+                return 1, 1, 1
+            nodes_in, leaves_in, height_in = walk(node.inside)
+            nodes_out, leaves_out, height_out = walk(node.outside)
+            return (1 + nodes_in + nodes_out, leaves_in + leaves_out,
+                    1 + max(height_in, height_out))
+
+        node_count, leaf_count, height = walk(self._root)
+        return {
+            "node_count": float(node_count),
+            "leaf_count": float(leaf_count),
+            "height": float(height),
+            "leaf_capacity": float(self.leaf_capacity),
+        }
+
     def _build(self, objects: list[Any]) -> _Inner | _Leaf | None:
         if not objects:
             return None
@@ -202,6 +226,7 @@ class MetricIndex:
         elapsed = time.perf_counter() - started
         for result in results:
             result.answers.sort(key=lambda pair: pair[1])
+            result.statistics.record_fetches = result.statistics.postprocessed
             result.statistics.elapsed_seconds = elapsed / max(1, len(queries))
         return results
 
@@ -270,6 +295,7 @@ class MetricIndex:
                     heapq.heappush(frontier, (lower, next(counter), child))
         result.answers = sorted(((obj, -negated) for negated, _, obj in best),
                                 key=lambda pair: pair[1])
+        stats.record_fetches = stats.postprocessed
         stats.elapsed_seconds = time.perf_counter() - started
         return result
 

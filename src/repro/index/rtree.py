@@ -210,6 +210,47 @@ class RTree:
         if self._buffer is not None:
             self._buffer.stats.reset()
 
+    def structure_summary(self) -> dict[str, float]:
+        """Structural facts the cost model estimates node accesses from.
+
+        Walks the tree through :meth:`node` (no access counting, no buffer
+        traffic): node counts per kind, average fanout, and the average node
+        "radius" (half the MBR diagonal) — the amount a query rectangle is
+        effectively enlarged by when testing whether a node must be opened.
+        """
+        leaf_count = internal_count = 0
+        leaf_entries = internal_entries = 0
+        leaf_radius_total = internal_radius_total = 0.0
+        pending = [self.root_id]
+        while pending:
+            node = self.node(pending.pop())
+            radius = 0.0
+            if node.entries:
+                mbr = node.mbr()
+                radius = 0.5 * float(np.linalg.norm(mbr.high - mbr.low))
+            if node.is_leaf:
+                leaf_count += 1
+                leaf_entries += len(node.entries)
+                leaf_radius_total += radius
+            else:
+                internal_count += 1
+                internal_entries += len(node.entries)
+                internal_radius_total += radius
+                pending.extend(entry.child_id for entry in node.entries)
+        return {
+            "height": float(self.height()),
+            "leaf_count": float(leaf_count),
+            "internal_count": float(internal_count),
+            "node_count": float(leaf_count + internal_count),
+            "avg_leaf_fanout": leaf_entries / leaf_count if leaf_count else 0.0,
+            "avg_internal_fanout": (internal_entries / internal_count
+                                    if internal_count else 0.0),
+            "avg_leaf_radius": (leaf_radius_total / leaf_count
+                                if leaf_count else 0.0),
+            "avg_internal_radius": (internal_radius_total / internal_count
+                                    if internal_count else 0.0),
+        }
+
     # ------------------------------------------------------------------
     # insertion
     # ------------------------------------------------------------------

@@ -24,8 +24,12 @@ from typing import Iterable
 import numpy as np
 
 from ..core.errors import DimensionMismatchError
-from ..storage.pages import PageStore
-from ..timeseries.features import SeriesFeatureExtractor, SeriesFeatures
+from ..storage.pages import PageStore, records_per_page as page_capacity
+from ..timeseries.features import (
+    SeriesFeatureExtractor,
+    SeriesFeatures,
+    full_record_bytes,
+)
 from ..timeseries.series import TimeSeries
 from ..timeseries.transforms import SpectralTransformation
 from .kindex import QueryStatistics, RangeQueryResult
@@ -48,15 +52,20 @@ class SequentialScan:
         with the index's.
     records_per_page:
         How many full records are assumed to fit on one simulated page.
+        When omitted it is derived from the first record's size with the
+        shared :func:`~repro.storage.pages.records_per_page` arithmetic —
+        the same arithmetic the planner's cost model prices scans with, so
+        estimated and reported scan I/O agree by construction.
     """
 
     def __init__(self, extractor: SeriesFeatureExtractor | None = None, *,
                  page_store: PageStore | None = None,
-                 records_per_page: int = 16) -> None:
+                 records_per_page: int | None = None) -> None:
         self.extractor = extractor if extractor is not None else SeriesFeatureExtractor()
         self._records: list[tuple[TimeSeries, SeriesFeatures]] = []
         self._page_store = page_store
-        self._records_per_page = max(1, int(records_per_page))
+        self._records_per_page = (max(1, int(records_per_page))
+                                  if records_per_page is not None else None)
         self._pages: list[int] = []
 
     # ------------------------------------------------------------------
@@ -65,6 +74,9 @@ class SequentialScan:
     def insert(self, series: TimeSeries) -> None:
         """Add one series to the scanned relation."""
         features = self.extractor.extract(series)
+        if self._records_per_page is None:
+            record_bytes = full_record_bytes(features.full_coefficients)
+            self._records_per_page = page_capacity(record_bytes)
         self._records.append((series, features))
         if self._page_store is not None and (len(self._records) - 1) % self._records_per_page == 0:
             self._pages.append(self._page_store.allocate(payload=[]))
@@ -76,6 +88,19 @@ class SequentialScan:
 
     def __len__(self) -> int:
         return len(self._records)
+
+    @property
+    def records_per_page(self) -> int:
+        """Records per simulated data page (derived from the record size
+        unless fixed at construction; 1 before any record is stored)."""
+        return self._records_per_page if self._records_per_page else 1
+
+    @property
+    def data_pages(self) -> int:
+        """Simulated data pages one full pass over the relation reads."""
+        if not self._records:
+            return 0
+        return -(-len(self._records) // self.records_per_page)
 
     # ------------------------------------------------------------------
     # transformation helpers (same semantics as the k-index)
@@ -157,6 +182,9 @@ class SequentialScan:
                 result.answers.append((series, distance))
         result.answers.sort(key=lambda pair: pair[1])
         result.statistics.candidates = len(self._records)
+        # One sequential pass over the data pages; exact distances come with
+        # the pages already read, so no per-candidate record fetches.
+        result.statistics.node_accesses = self.data_pages
         result.statistics.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -207,5 +235,6 @@ class SequentialScan:
                 if distance is not None and distance <= epsilon:
                     pairs.append((series_a, series_b, distance))
         stats.candidates = stats.postprocessed
+        stats.node_accesses = self.data_pages
         stats.elapsed_seconds = time.perf_counter() - started
         return pairs, stats

@@ -19,10 +19,24 @@ from typing import Any
 
 from ..core.errors import StorageError
 
-__all__ = ["PAGE_SIZE_BYTES", "IOStatistics", "Page", "PageStore"]
+__all__ = ["PAGE_SIZE_BYTES", "IOStatistics", "Page", "PageStore",
+           "records_per_page"]
 
 #: Default page size used when estimating how many objects fit on a page.
 PAGE_SIZE_BYTES = 4096
+
+
+def records_per_page(record_bytes: int, page_size: int = PAGE_SIZE_BYTES) -> int:
+    """How many fixed-size data records fit on one page (at least one).
+
+    The shared arithmetic behind every "a sequential scan reads N /
+    records-per-page pages" account: the scan baseline lays its records out
+    with it, and the planner's cost model prices the scan with the *same*
+    function — so estimated and measured scan I/O agree by construction.
+    """
+    if page_size <= 0:
+        raise StorageError("page size must be positive")
+    return max(1, int(page_size) // max(1, int(record_bytes)))
 
 
 @dataclass

@@ -121,6 +121,39 @@ class SeriesFeatureExtractor:
                 f"representation={self.representation!r}, include_stats={self.include_stats})")
 
 
+#: Bytes of the (mean, std) pair stored alongside a full coefficient record.
+RECORD_STATS_BYTES = 16
+
+
+def full_record_bytes(full_coefficients: np.ndarray) -> int:
+    """Estimated bytes of one stored full record (coefficients plus stats).
+
+    The shared input to :func:`repro.storage.pages.records_per_page`: the
+    sequential-scan baseline lays its pages out with it and the planner's
+    cost model prices scans with it, so measured and estimated scan I/O use
+    the same figure by construction.
+    """
+    return int(full_coefficients.nbytes) + RECORD_STATS_BYTES
+
+
+def record_distance(a: tuple[np.ndarray, float, float],
+                    b: tuple[np.ndarray, float, float],
+                    include_stats: bool) -> float:
+    """Exact distance between two ``(coefficients, mean, std)`` records.
+
+    Taken over the common coefficient prefix: by Parseval still a valid
+    lower bound when one side carries fewer coefficients (a bare
+    feature-point query), and exact when both records are complete.  The
+    single definition backs :meth:`KIndex._exact_distance` and the
+    statistics sampler, so estimates and measurements share one formula.
+    """
+    common = min(a[0].shape[0], b[0].shape[0])
+    total = float(np.sum(np.abs(a[0][:common] - b[0][:common]) ** 2))
+    if include_stats:
+        total += (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2
+    return float(np.sqrt(total))
+
+
 def series_features(series: TimeSeries, space: FeatureSpace) -> FeatureVector:
     """Convenience used by :meth:`TimeSeries.feature_vector`.
 

@@ -22,17 +22,20 @@ from repro import BoundQuery, PreparedQuery, Q, RelationHandle, Session, connect
 EXPECTED_ALL = [
     "AdditiveCostModel", "AllPairsQuery", "AnyPattern", "BoundQuery",
     "BufferPool", "CatalogError", "ComposedTransformation", "ConstantPattern",
-    "CostBudget", "CostExceededError", "DataObject", "Database",
-    "DimensionMismatchError", "DistanceProvider", "FeatureVector",
+    "CostBudget", "CostEstimate", "CostExceededError", "DataObject",
+    "Database", "DimensionMismatchError", "DistanceHistogram",
+    "DistanceProvider", "FeatureVector",
     "FunctionTransformation", "GenericObject", "IdentityTransformation",
     "KIndex", "LinearTransformation", "MaxCostModel", "MetricIndex",
     "MovingAverageTransform", "NearestNeighborQuery", "NearestNeighborResult",
     "PageStore", "Param", "Pattern", "PatternError", "Planner", "PolarSpace",
     "PredicatePattern", "PreparedQuery", "Q", "QueryBuildError", "QueryBuilder",
-    "QueryEngine", "QueryOutcome", "QueryPlanningError", "QuerySyntaxError",
+    "QueryCostModel", "QueryEngine", "QueryOutcome", "QueryPlanningError",
+    "QuerySyntaxError",
     "RStarTree", "RTree", "RangeQuery", "RangeQueryResult",
-    "RealLinearTransformation", "Rect", "RectangularSpace", "Relation",
-    "RelationHandle", "RelationPattern", "ReproError", "ReverseTransform",
+    "RealLinearTransformation", "Rect", "RectangularSpace", "RejectedPlan",
+    "Relation", "RelationHandle", "RelationPattern", "RelationStatistics",
+    "ReproError", "ReverseTransform",
     "Row", "ScaleTransform", "SequentialScan", "SeriesFeatureExtractor",
     "Session", "ShiftTransform", "SimilarityEngine", "SimilarityQuery",
     "SpectralTransformation", "StockArchiveConfig", "StringObject",
@@ -95,6 +98,7 @@ class TestFacadeSignatures:
         assert _signature(Session.with_transformation) == (
             "(self, name: 'str', transformation: 'SpectralTransformation') "
             "-> 'Session'")
+        assert _signature(Session.analyze) == "(self, relation_name: 'str')"
 
     def test_prepared_query_methods(self):
         assert _signature(PreparedQuery.run) == (

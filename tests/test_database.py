@@ -180,7 +180,7 @@ class TestStateTokenScoping:
         database.create_relation("b")
         database.register_index("a", [1, 2, 3], "primary")
         database.register_index("b", [1])
-        _, _, index_sizes = database.state_token("a")
+        _, _, index_sizes, _ = database.state_token("a")
         assert index_sizes == (("primary", 3),)
 
     def test_token_changes_on_own_index_growth(self):

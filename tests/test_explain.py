@@ -68,11 +68,23 @@ class TestIndexFamily:
         assert "NEAREST 3 TO $q" in text
         assert "via index 'default'" in text
 
-    def test_index_join(self, indexed_session):
-        text = indexed_session.explain("SELECT PAIRS FROM walks WHERE dist < 0.5")
+    def test_index_join(self):
+        # The cost model prefers the materialised nested-scan join at small
+        # cardinalities, so pin the renderer on a directly built plan.
+        from repro.core.query.ast import AllPairsQuery
+        from repro.core.query.planner import IndexJoinPlan
+
+        plan = IndexJoinPlan(query=AllPairsQuery(relation="walks", epsilon=0.5),
+                             reason="index probes per stored series")
+        text = explain(plan)
         assert text.startswith("IndexJoinPlan on 'walks'")
         assert "DIST < 0.5" in text
         assert "via index 'default'" in text
+
+    def test_join_crossover_to_scan_at_small_scale(self, indexed_session):
+        text = indexed_session.explain("SELECT PAIRS FROM walks WHERE dist < 0.5")
+        assert text.startswith("ScanJoinPlan on 'walks'")
+        assert "rejected IndexJoinPlan" in text
 
 
 class TestScanFamily:
@@ -129,6 +141,38 @@ class TestEngineFamily:
         assert text.startswith("EngineRangePlan on 'words'")
         assert "SIM(OBJECT, $q) < 0.5 COST 2.0" in text
         assert "via similarity engine, screened by metric index 'default'" in text
+
+
+class TestCostAnnotatedExplain:
+    """PR 4: explain renders the estimate, the actual cost and the why-nots."""
+
+    def test_estimated_cost_line(self, indexed_session):
+        text = indexed_session.explain(
+            "SELECT FROM walks WHERE dist(series, $q) < 2.0")
+        assert "estimated:" in text
+        assert "distance computations" in text
+
+    def test_rejected_alternative_with_higher_estimate(self, indexed_session):
+        text = indexed_session.explain(
+            "SELECT FROM walks WHERE dist(series, $q) < 2.0")
+        assert "rejected ScanRangePlan (via sequential scan)" in text
+        plan = indexed_session.engine.plan(
+            "SELECT FROM walks WHERE dist(series, $q) < 2.0")
+        assert len(plan.rejected) == 1
+        assert plan.rejected[0].estimate.total > plan.estimated_cost.total
+
+    def test_outcome_explain_shows_actual_cost(self, indexed_session):
+        query = next(iter(indexed_session.relation("walks")))
+        outcome = indexed_session.sql(
+            "SELECT FROM walks WHERE dist(series, $q) < 2.0", q=query)
+        text = indexed_session.explain(outcome)
+        assert "actual:" in text
+        assert f"{outcome.statistics.io_total} I/O accesses" in text
+
+    def test_sim_explain_shows_unscreened_alternative(self, string_session):
+        text = string_session.explain(
+            "SELECT FROM words WHERE sim(object, $q) < 0.5 COST 2")
+        assert "rejected EngineRangePlan (via similarity engine)" in text
 
 
 class TestExplainMatchesExecution:

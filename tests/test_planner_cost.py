@@ -1,0 +1,367 @@
+"""The cost-based planner: decision table, statistics lifecycle, feedback.
+
+Covers the PR-4 planner rewrite:
+
+* a parametrized decision grid over relation size x epsilon selectivity x
+  index availability, asserting the chosen plan family *and* that the
+  estimated-cost ordering agrees with measured I/O on STR-bulk-loaded data;
+* every plan carries its estimate and the rejected alternatives;
+* ``analyze`` bumps the state token and invalidates the plan/answer caches,
+  while lazy statistics collection does not;
+* indexes of unknown kind lose cost ties to the scan, loudly;
+* ``Planner(selectivity_crossover=...)`` is deprecated but still seeds the
+  cost model's default selectivity;
+* the bounded-EWMA feedback loop folds observed selectivities back in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    KIndex,
+    MetricIndex,
+    SequentialScan,
+    SeriesFeatureExtractor,
+    StringObject,
+    connect,
+    random_walk_collection,
+)
+from repro.core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery
+from repro.core.query.planner import (
+    IndexJoinPlan,
+    IndexNearestPlan,
+    IndexRangePlan,
+    Planner,
+    ScanRangePlan,
+    explain,
+)
+from repro.core.stats import DistanceHistogram, RelationStatistics
+from repro.strings import edit_distance_provider
+
+LENGTH = 64
+
+
+def _session(num_series: int, build: str, seed: int = 23):
+    data = random_walk_collection(num_series, LENGTH, seed=seed)
+    session = connect(answer_cache_size=0)
+    handle = session.relation("walks").insert_many(data)
+    extractor = SeriesFeatureExtractor(2)
+    if build == "str":
+        handle.with_index(KIndex.bulk_load(data, extractor))
+    elif build == "insert":
+        index = KIndex(extractor)
+        index.extend(data)
+        handle.with_index(index)
+    return session, data
+
+
+class TestDecisionTable:
+    """Chosen plan family across size x selectivity x index availability."""
+
+    @pytest.mark.parametrize("num_series", [64, 400])
+    @pytest.mark.parametrize("build", ["str", "insert"])
+    @pytest.mark.parametrize("fraction,expected_family", [
+        (0.01, IndexRangePlan),   # selective: a handful of answers
+        (0.85, ScanRangePlan),    # unselective: most of the relation answers
+    ])
+    def test_range_family(self, num_series, build, fraction, expected_family):
+        session, _ = _session(num_series, build)
+        stats = session.analyze("walks")
+        radius = stats.answer_quantile(fraction)
+        plan = session.engine.plan(
+            f"SELECT FROM walks WHERE dist(series, $q) < {radius!r}")
+        assert isinstance(plan, expected_family)
+        assert plan.estimated_cost is not None
+        assert len(plan.rejected) == 1
+
+    @pytest.mark.parametrize("num_series", [64, 400])
+    def test_no_index_means_scan(self, num_series):
+        session, _ = _session(num_series, build="none")
+        plan = session.engine.plan("SELECT FROM walks WHERE dist(series, $q) < 1.0")
+        assert isinstance(plan, ScanRangePlan)
+        assert plan.rejected == ()  # nothing else was applicable
+
+    @pytest.mark.parametrize("num_series", [64, 400])
+    def test_nearest_prefers_index(self, num_series):
+        session, _ = _session(num_series, build="str")
+        session.analyze("walks")
+        assert isinstance(session.engine.plan("SELECT FROM walks NEAREST 3 TO $q"),
+                          IndexNearestPlan)
+
+    def test_join_prefers_scan_at_small_scale_with_index_rejected(self):
+        # The materialised nested scan join pays its pages once and
+        # early-abandons pair distances — at a few hundred records it
+        # undercuts per-record index probes, and the planner says so.
+        session, _ = _session(400, build="str")
+        stats = session.analyze("walks")
+        radius = stats.answer_quantile(0.005)
+        plan = session.engine.plan(
+            f"SELECT PAIRS FROM walks WHERE dist < {radius!r}")
+        assert type(plan).__name__ == "ScanJoinPlan"
+        assert any(entry.family == "IndexJoinPlan" for entry in plan.rejected)
+
+    def test_join_model_crossover_favours_index_at_scale(self):
+        # The quadratic pair-distance term eventually dominates: with a
+        # selective histogram and a compact tree, the model flips to index
+        # probes at large cardinalities even at the early-abandon CPU rate.
+        from repro.core.query.costmodel import QueryCostModel
+
+        model = QueryCostModel()
+        stats = RelationStatistics(
+            relation="r", cardinality=5000, kind="feature-indexed",
+            record_bytes=512,
+            tree_summary={"height": 4.0, "leaf_count": 625.0,
+                          "internal_count": 90.0, "node_count": 715.0,
+                          "avg_leaf_fanout": 8.0, "avg_internal_fanout": 8.0,
+                          "avg_leaf_radius": 0.5, "avg_internal_radius": 2.0},
+            answer_histogram=DistanceHistogram([float(d) for d in
+                                                range(10, 110)]),
+            filter_histogram=DistanceHistogram([float(d) for d in
+                                                range(10, 110)]))
+        # A near-duplicate join: the radius sits below the sampled minimum
+        # distance, so each probe descends the tree and fetches ~nothing —
+        # the regime where N probes beat N^2/2 pair distances.
+        epsilon = 5.0
+        large_index = model.index_join(stats, 5000, epsilon)
+        large_scan = model.scan_join(stats, 5000, epsilon)
+        assert large_index.total < large_scan.total
+        small_index = model.index_join(stats, 80, epsilon)
+        small_scan = model.scan_join(stats, 80, epsilon)
+        assert small_scan.total < small_index.total
+
+    @pytest.mark.parametrize("num_series", [64, 400])
+    @pytest.mark.parametrize("fraction", [0.01, 0.85])
+    def test_estimated_ordering_agrees_with_measured_io(self, num_series, fraction):
+        """On STR-bulk-loaded data, est(index) < est(scan) iff the measured
+        I/O (node accesses + record fetches vs data pages) orders the same."""
+        session, data = _session(num_series, build="str")
+        stats = session.analyze("walks")
+        radius = stats.answer_quantile(fraction)
+        index = session.database.index("walks")
+        queries = data[:: max(1, len(data) // 6)][:6]
+        measured_index = sum(
+            index.range_query(q, radius).statistics.io_total
+            for q in queries) / len(queries)
+        scan = SequentialScan(SeriesFeatureExtractor(2))
+        scan.extend(data)
+        measured_scan = scan.range_query(queries[0], radius).statistics.io_total
+        plan = session.engine.plan(
+            f"SELECT FROM walks WHERE dist(series, $q) < {radius!r}")
+        alternatives = {p.family: p.estimate for p in plan.rejected}
+        alternatives[type(plan).__name__] = plan.estimated_cost
+        estimated_index = alternatives["IndexRangePlan"].total
+        estimated_scan = alternatives["ScanRangePlan"].total
+        # Near a measured tie either ordering is acceptable (the 15% band of
+        # the crossover benchmark); when the measurements are decisively
+        # apart, the estimates must order the same way.
+        if abs(measured_index - measured_scan) \
+                > 0.25 * max(measured_index, measured_scan):
+            assert (estimated_index < estimated_scan) == \
+                (measured_index < measured_scan)
+
+    def test_chosen_plan_estimate_tracks_measured_io(self):
+        """The winning estimate is within a small factor of measured I/O."""
+        session, data = _session(400, build="str")
+        stats = session.analyze("walks")
+        radius = stats.answer_quantile(0.02)
+        outcome = session.sql(
+            f"SELECT FROM walks WHERE dist(series, $q) < {radius!r}", q=data[7])
+        estimate = outcome.plan.estimated_cost
+        assert isinstance(outcome.plan, IndexRangePlan)
+        measured = outcome.statistics.io_total
+        assert measured / 4 <= estimate.total <= measured * 4
+
+
+class TestStatisticsLifecycle:
+    def test_analyze_bumps_state_token_and_invalidates_caches(self):
+        session, data = _session(80, build="str")
+        session.engine.answer_cache.capacity = 64  # re-enable for this test
+        text = "SELECT FROM walks WHERE dist(series, $q) < 2.0"
+        session.sql(text, q=data[0])
+        assert session.sql(text, q=data[0]).from_cache
+        invocations = session.engine.planner.invocations
+        before = session.database.state_token("walks")
+        session.analyze("walks")
+        assert session.database.state_token("walks") != before
+        outcome = session.sql(text, q=data[0])
+        assert not outcome.from_cache  # answer cache missed by construction
+        assert session.engine.planner.invocations == invocations + 1  # re-planned
+
+    def test_lazy_collection_does_not_change_the_token(self):
+        session, _ = _session(40, build="str")
+        before = session.database.state_token("walks")
+        session.engine.plan("SELECT FROM walks WHERE dist(series, $q) < 2.0")
+        assert session.database.statistics_for("walks", collect=False) is not None
+        assert session.database.state_token("walks") == before
+
+    def test_analyze_epochs_are_monotonic(self):
+        session, _ = _session(30, build="str")
+        assert session.database.stats_epoch("walks") == 0
+        first = session.analyze("walks")
+        second = session.analyze("walks")
+        assert (first.epoch, second.epoch) == (1, 2)
+
+    def test_drop_relation_drops_statistics(self):
+        session, _ = _session(30, build="str")
+        session.analyze("walks")
+        session.drop_relation("walks")
+        assert session.database.statistics_for("walks", collect=False) is None
+
+    def test_statistics_refresh_after_index_change(self):
+        session, data = _session(60, build="none")
+        stats = session.database.statistics_for("walks")
+        assert stats.kind == "feature"
+        session.relation("walks").with_index(
+            KIndex.bulk_load(data, SeriesFeatureExtractor(2)))
+        refreshed = session.database.statistics_for("walks")
+        assert refreshed.kind == "feature-indexed"
+        assert refreshed.tree_summary is not None
+
+
+class TestUnknownIndexKind:
+    """An index the planner cannot price must not win by silent assumption."""
+
+    def _database(self):
+        data = random_walk_collection(40, LENGTH, seed=3)
+        database = Database()
+        database.create_relation("walks", data)
+        database.register_index("walks", [1, 2, 3])  # no space, no extractor
+        return database
+
+    def test_unknown_kind_loses_the_tie_to_the_scan(self):
+        planner = Planner(self._database())
+        plan = planner.plan(RangeQuery(relation="walks", epsilon=1.0))
+        assert isinstance(plan, ScanRangePlan)
+        rejected = {entry.family: entry for entry in plan.rejected}
+        assert "IndexRangePlan" in rejected
+        assert not rejected["IndexRangePlan"].estimate.can_estimate
+
+    def test_the_assumption_is_stated_in_explain(self):
+        planner = Planner(self._database())
+        plan = planner.plan(RangeQuery(relation="walks", epsilon=1.0))
+        text = explain(plan)
+        assert "unknown kind" in text
+        assert "rejected IndexRangePlan" in text
+
+    def test_unknown_kind_applies_to_all_families(self):
+        planner = Planner(self._database())
+        for query in (NearestNeighborQuery(relation="walks", k=2),
+                      AllPairsQuery(relation="walks", epsilon=1.0)):
+            plan = planner.plan(query)
+            assert type(plan).__name__.startswith("Scan")
+
+
+class TestDeprecatedCrossover:
+    def test_warns_and_seeds_the_default_selectivity(self):
+        database = Database()
+        database.create_relation("r", random_walk_collection(5, LENGTH, seed=1))
+        with pytest.warns(DeprecationWarning, match="selectivity_crossover"):
+            planner = Planner(database, selectivity_crossover=0.5)
+        assert planner.cost_model.default_selectivity == 0.5
+        assert planner.selectivity_crossover == 0.5
+
+    def test_default_construction_does_not_warn(self):
+        import warnings
+
+        database = Database()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Planner(database)
+
+
+class TestFeedback:
+    def _stats(self) -> RelationStatistics:
+        return RelationStatistics(
+            relation="r", cardinality=100, kind="feature-indexed",
+            answer_histogram=DistanceHistogram([1.0, 2.0, 3.0, 4.0, 5.0]),
+            filter_histogram=DistanceHistogram([0.5, 1.0, 1.5, 2.0, 2.5]))
+
+    def test_observations_move_the_correction_toward_reality(self):
+        stats = self._stats()
+        # Predicted answer fraction at eps=2.0 is 0.4; observe double that.
+        for _ in range(30):
+            stats.observe_range(2.0, answer_fraction=0.8)
+        assert 1.8 <= stats.answer_correction <= 2.0
+        assert stats.answer_fraction(2.0) == pytest.approx(
+            min(1.0, 0.4 * stats.answer_correction))
+
+    def test_corrections_are_bounded(self):
+        stats = self._stats()
+        for _ in range(100):
+            stats.observe_range(2.0, answer_fraction=1.0,
+                                candidate_fraction=1.0)
+        assert stats.answer_correction <= 4.0
+        assert stats.candidate_correction <= 4.0
+        for _ in range(200):
+            stats.observe_range(2.0, answer_fraction=0.0001,
+                                candidate_fraction=0.0001)
+        assert stats.answer_correction >= 0.25
+        assert stats.candidate_correction >= 0.25
+
+    def test_observations_do_not_bump_the_epoch(self):
+        stats = self._stats()
+        stats.observe_range(2.0, answer_fraction=0.5)
+        assert stats.epoch == 0
+        assert stats.observations == 1
+
+    def test_executed_queries_feed_the_statistics(self):
+        session, data = _session(120, build="str")
+        session.analyze("walks")
+        session.sql("SELECT FROM walks WHERE dist(series, $q) < 3.0", q=data[0])
+        stats = session.database.statistics_for("walks", collect=False)
+        assert stats.observations >= 1
+
+
+class TestStatisticsSnapshots:
+    """QueryOutcome.statistics is populated for every plan family."""
+
+    def test_scan_plans_report_data_pages(self):
+        session, data = _session(80, build="none")
+        outcome = session.sql("SELECT FROM walks WHERE dist(series, $q) < 2.0",
+                              q=data[0])
+        assert isinstance(outcome.plan, ScanRangePlan)
+        assert outcome.statistics.node_accesses > 0  # sequential pages
+        assert outcome.statistics.record_fetches == 0
+        nearest = session.sql("SELECT FROM walks NEAREST 2 TO $q", q=data[1])
+        assert nearest.statistics.node_accesses > 0
+        assert nearest.statistics.candidates == 80
+
+    def test_index_plans_split_node_kinds_and_count_fetches(self):
+        session, data = _session(200, build="str")
+        session.analyze("walks")
+        outcome = session.sql("SELECT FROM walks WHERE dist(series, $q) < 4.0",
+                              q=data[0])
+        stats = outcome.statistics
+        assert isinstance(outcome.plan, IndexRangePlan)
+        assert stats.internal_node_accesses + stats.leaf_node_accesses \
+            == stats.node_accesses
+        assert stats.record_fetches == stats.postprocessed
+        assert stats.io_total == stats.node_accesses + stats.record_fetches
+
+    def test_batched_members_share_the_traversal_snapshot(self):
+        session, data = _session(150, build="str")
+        text = "SELECT FROM walks WHERE dist(series, $q) < 3.0"
+        outcomes = session.sql_many([text] * 6,
+                                    [{"q": s} for s in data[:6]])
+        shared = outcomes[0].statistics.node_accesses
+        for outcome in outcomes:
+            assert outcome.statistics.node_accesses == shared
+            assert outcome.statistics.internal_node_accesses \
+                + outcome.statistics.leaf_node_accesses == shared
+
+    def test_metric_plans_count_distance_computations_as_fetches(self):
+        session = connect(answer_cache_size=0)
+        provider = edit_distance_provider()
+        words = [StringObject(w) for w in
+                 ["pattern", "patter", "matter", "mutter", "butter", "query",
+                  "quarts", "quartz", "relation", "revelation"]]
+        (session.relation("words").insert_many(words)
+            .with_distance(provider)
+            .with_index(MetricIndex(provider.distance, leaf_capacity=2)))
+        outcome = session.sql("SELECT FROM words WHERE dist(object, $q) < 1.0",
+                              q=StringObject("patter"))
+        assert outcome.statistics.record_fetches \
+            == outcome.statistics.postprocessed > 0
+        assert outcome.plan.estimated_cost is not None

@@ -10,10 +10,10 @@ from repro.core.query.ast import AllPairsQuery, NearestNeighborQuery, RangeQuery
 from repro.core.query.executor import QueryEngine
 from repro.core.query.parser import parse, tokenize
 from repro.core.query.planner import (
-    IndexJoinPlan,
     IndexNearestPlan,
     IndexRangePlan,
     Planner,
+    ScanJoinPlan,
     ScanNearestPlan,
     ScanRangePlan,
     explain,
@@ -160,13 +160,22 @@ class TestPlanner:
                             transformation=moving_average_spectral(64, 10))
         assert isinstance(plan, ScanRangePlan)
 
-    def test_nearest_and_join_prefer_index(self, engine_setup):
+    def test_nearest_prefers_index(self, engine_setup):
         _, database, _ = engine_setup
         planner = Planner(database)
         assert isinstance(planner.plan(NearestNeighborQuery(relation="prices", k=3)),
                           IndexNearestPlan)
-        assert isinstance(planner.plan(AllPairsQuery(relation="prices", epsilon=1.0)),
-                          IndexJoinPlan)
+
+    def test_join_prefers_scan_at_this_scale(self, engine_setup):
+        # The in-memory nested scan join pays its pages once and
+        # early-abandons pair distances, so at 80 records it undercuts 80
+        # per-record index probes; the index probes stay enumerated (and
+        # win in the cost model once the quadratic term dominates).
+        _, database, _ = engine_setup
+        planner = Planner(database)
+        plan = planner.plan(AllPairsQuery(relation="prices", epsilon=1.0))
+        assert isinstance(plan, ScanJoinPlan)
+        assert any(entry.family == "IndexJoinPlan" for entry in plan.rejected)
 
 
 class TestQueryEngine:
