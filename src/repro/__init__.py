@@ -108,6 +108,7 @@ from .index.transformed import (
     transformed_range_search,
 )
 from .storage.buffer import BufferPool
+from .storage.columnar import ColumnarRecordStore
 from .storage.pages import PageStore
 from .strings.distance import transformation_edit_distance, weighted_edit_distance
 from .strings.provider import edit_distance_provider
@@ -167,7 +168,7 @@ __all__ = [
     "RTree", "RStarTree", "SequentialScan",
     "materialize_transformed_tree", "transformed_range_search",
     "transformed_nearest_neighbors", "transformed_join",
-    "PageStore", "BufferPool",
+    "PageStore", "BufferPool", "ColumnarRecordStore",
     "StringObject", "weighted_edit_distance", "transformation_edit_distance",
     "edit_distance_provider",
     "dft", "inverse_dft", "dtw_distance", "normalized_euclidean",

@@ -1,6 +1,8 @@
-"""Experiment harness: workloads, per-figure reproduction functions, reporting."""
+"""Experiment harness: workloads, per-figure reproduction functions, reporting,
+and the recorded-baseline trajectory (``BENCH_perf.json``)."""
 
 from .experiments import EXPERIMENTS, run_experiment
+from .recording import latest_metrics, load_trajectory, machine_key, record_run
 from .reporting import format_markdown_table, format_table, summarize_ratio
 from .workloads import Workload, pick_queries, stock_workload, synthetic_workload
 
@@ -8,4 +10,5 @@ __all__ = [
     "EXPERIMENTS", "run_experiment",
     "format_table", "format_markdown_table", "summarize_ratio",
     "Workload", "pick_queries", "stock_workload", "synthetic_workload",
+    "machine_key", "load_trajectory", "record_run", "latest_metrics",
 ]

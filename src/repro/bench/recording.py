@@ -1,0 +1,85 @@
+"""Recorded benchmark baselines: the ``BENCH_perf.json`` trajectory.
+
+Performance claims decay silently: a PR that slows a kernel by 3x still
+passes every correctness test.  This module gives the benchmark suite a
+memory — each run appends its metrics to a small JSON file keyed by a
+*machine key* (OS, architecture, Python minor version), so
+
+* ``--check`` thresholds compare like with like (a laptop's numbers never
+  gate a CI runner), and
+* the trajectory across PRs shows whether a hot path drifted, without
+  anyone re-running old revisions.
+
+The file layout::
+
+    {"machines": {"linux-x86_64-py3.12": {
+        "vectorized_kernels": [{"timestamp": ..., "metrics": {...}}, ...]}}}
+
+Only the most recent ``MAX_ENTRIES`` runs per (machine, benchmark) are
+kept.  The file lives at the repository root and is **tracked by git**:
+committing an updated file is what carries the trajectory across PRs
+(CI additionally uploads each run's result as a build artifact).  Use the
+benchmarks' ``--no-record`` flag to measure without touching it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["machine_key", "load_trajectory", "record_run", "latest_metrics",
+           "DEFAULT_PATH", "MAX_ENTRIES"]
+
+#: Default trajectory file (relative to the working directory — the
+#: repository root for CI and the documented invocations).
+DEFAULT_PATH = Path("BENCH_perf.json")
+
+#: Runs retained per (machine, benchmark).
+MAX_ENTRIES = 50
+
+
+def machine_key() -> str:
+    """A coarse hardware/runtime fingerprint: baselines only compare within it."""
+    return (f"{platform.system().lower()}-{platform.machine().lower()}"
+            f"-py{sys.version_info.major}.{sys.version_info.minor}")
+
+
+def load_trajectory(path: str | Path = DEFAULT_PATH) -> dict[str, Any]:
+    """The whole trajectory file (an empty skeleton when absent or corrupt)."""
+    path = Path(path)
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+            if isinstance(data, dict) and isinstance(data.get("machines"), dict):
+                return data
+        except (OSError, ValueError):
+            pass
+    return {"machines": {}}
+
+
+def record_run(benchmark: str, metrics: dict[str, Any], *,
+               path: str | Path = DEFAULT_PATH) -> dict[str, Any]:
+    """Append one run's metrics under the current machine key and persist.
+
+    Returns the entry written (timestamp plus metrics).
+    """
+    data = load_trajectory(path)
+    runs = data["machines"].setdefault(machine_key(), {}).setdefault(benchmark, [])
+    entry = {"timestamp": time.time(), "metrics": dict(metrics)}
+    runs.append(entry)
+    del runs[:-MAX_ENTRIES]
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
+def latest_metrics(benchmark: str, *,
+                   path: str | Path = DEFAULT_PATH) -> dict[str, Any] | None:
+    """The most recent recorded metrics for this machine, or ``None``."""
+    runs = load_trajectory(path)["machines"].get(machine_key(), {}).get(benchmark)
+    if not runs:
+        return None
+    return dict(runs[-1].get("metrics", {}))

@@ -232,6 +232,9 @@ class Database:
         self._distance_providers: dict[str, DistanceProvider] = {}
         #: Optimizer statistics per relation (see :mod:`repro.core.stats`).
         self._statistics: dict[str, Any] = {}
+        #: Columnar full-record store per relation (see :meth:`columnar_store`),
+        #: cached as (relation object, relation version, store, owned-here).
+        self._columnar: dict[str, tuple[Relation, int, Any, bool]] = {}
         self._catalog_version = 0
 
     # ------------------------------------------------------------------
@@ -263,6 +266,7 @@ class Database:
         self._indexes.pop(name, None)
         self._distance_providers.pop(name, None)
         self._statistics.pop(name, None)
+        self._columnar.pop(name, None)
         self._catalog_version += 1
 
     def relations(self) -> list[str]:
@@ -311,6 +315,61 @@ class Database:
         ))
         return (self._catalog_version, relation.version, index_sizes,
                 self.stats_epoch(relation_name))
+
+    def columnar_store(self, relation_name: str) -> Any:
+        """The relation's shared :class:`~repro.storage.columnar.ColumnarRecordStore`.
+
+        One store serves every consumer of the relation's full records — the
+        executor's sequential-scan fallback, the statistics sampler, and (by
+        adoption) any registered k-index whose contents match the relation:
+        when a spatial index already holds columnar records for exactly the
+        relation's objects, *its* store is returned, so scan and index read
+        the same arrays rather than extracting the spectra twice.
+
+        Relations are append-only, so a cached store is topped up
+        incrementally when the relation grew; the cache entry is stamped
+        with the relation's version (the same component
+        :meth:`state_token` exposes), so answer caches and the store can
+        never disagree about the relation's state.  Raises if the
+        relation's objects are not series-like (no spectral record can be
+        extracted) — provider relations never take this path.
+        """
+        from ..storage.columnar import ColumnarRecordStore
+
+        relation = self.relation(relation_name)
+        cached = self._columnar.get(relation_name)
+        if cached is not None and cached[0] is relation \
+                and cached[1] == relation.version \
+                and len(cached[2]) == len(relation):
+            # The length recheck guards adopted (index-owned) stores: a
+            # direct index.insert grows the store without touching the
+            # relation's version, and a stale hit would leak phantom rows
+            # into scan answers.
+            return cached[2]
+        store = None
+        owned = False
+        for index in self.indexes_on(relation_name).values():
+            candidate = getattr(index, "store", None)
+            if isinstance(candidate, ColumnarRecordStore) \
+                    and len(candidate) == len(relation) \
+                    and all(stored is row.obj for stored, row
+                            in zip(candidate.series_list(), relation.rows())):
+                store = candidate
+                break
+        if store is None:
+            owned = True
+            # Relations are append-only, so a store this catalog built for
+            # the same relation object is a prefix and can be topped up; an
+            # adopted (index-owned) store must never be grown here — its
+            # length is the index's length.
+            if cached is not None and cached[0] is relation and cached[3] \
+                    and len(cached[2]) <= len(relation):
+                store = cached[2]
+            else:
+                store = ColumnarRecordStore()
+            store.extend(relation.objects()[len(store):])
+        self._columnar[relation_name] = (relation, relation.version, store, owned)
+        return store
 
     def has_index(self, relation_name: str, index_name: str = "default") -> bool:
         """Whether an index is registered for the relation."""

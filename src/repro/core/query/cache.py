@@ -24,11 +24,40 @@ until the state token moves.
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
-__all__ = ["CacheStats", "LRUCache"]
+__all__ = ["CacheStats", "LRUCache", "estimate_size"]
+
+
+def estimate_size(value: Any, *, _depth: int = 0) -> int:
+    """Rough byte estimate of a cached value (used by the byte budget).
+
+    Numpy-backed payloads (arrays, time series, answer tuples of them)
+    dominate real cache entries, so the estimator prioritises ``nbytes``
+    over Python object overheads; containers are walked a few levels deep
+    and ``sys.getsizeof`` covers the rest.  The figure prices eviction — it
+    need not be exact, only monotone-ish in actual footprint.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes + 96
+    values = getattr(value, "values", None)
+    if values is not None and isinstance(getattr(values, "nbytes", None), int):
+        return values.nbytes + 160
+    if isinstance(value, (list, tuple, set, frozenset)) and _depth < 4:
+        return 64 + sum(estimate_size(item, _depth=_depth + 1) for item in value)
+    if isinstance(value, dict) and _depth < 4:
+        return 64 + sum(
+            estimate_size(key, _depth=_depth + 1) + estimate_size(item, _depth=_depth + 1)
+            for key, item in value.items()
+        )
+    try:
+        return sys.getsizeof(value)
+    except TypeError:  # pragma: no cover - exotic objects without a size
+        return 64
 
 
 @dataclass
@@ -57,14 +86,38 @@ class LRUCache:
 
     A capacity of zero disables the cache: every ``get`` misses and ``put``
     is a no-op, which callers use to switch caching off without branching.
+
+    ``max_bytes`` adds a second eviction axis: each stored value is priced
+    by ``sizeof`` (defaulting to :func:`estimate_size`) and least-recent
+    entries are evicted until the total fits the budget — so a cache of
+    columnar-scale answer lists is bounded in memory, not just in entry
+    count.  A single value larger than the whole budget is not stored at
+    all (it would only evict everything else to fail anyway).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        max_bytes: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
         self.capacity = int(capacity)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._sizeof = sizeof if sizeof is not None else estimate_size
         self.stats = CacheStats()
         self._items: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self._total_bytes = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated bytes of all stored values (0 when no byte budget)."""
+        return self._total_bytes
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value (refreshing its recency), or ``default``."""
@@ -78,19 +131,34 @@ class LRUCache:
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Store a value, evicting the least recently used entry when full."""
-        if self.capacity == 0:
+        """Store a value, evicting least recently used entries while the
+        entry count or the byte budget is exceeded."""
+        if self.capacity == 0 or self.max_bytes == 0:
             return
+        size = 0
+        if self.max_bytes is not None:
+            size = int(self._sizeof(value))
+            if size > self.max_bytes:
+                return
         if key in self._items:
             self._items.move_to_end(key)
+            self._total_bytes -= self._sizes.pop(key, 0)
         self._items[key] = value
-        if len(self._items) > self.capacity:
-            self._items.popitem(last=False)
+        if self.max_bytes is not None:
+            self._sizes[key] = size
+            self._total_bytes += size
+        while len(self._items) > self.capacity or (
+            self.max_bytes is not None and self._total_bytes > self.max_bytes
+        ):
+            evicted_key, _ = self._items.popitem(last=False)
+            self._total_bytes -= self._sizes.pop(evicted_key, 0)
             self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._items.clear()
+        self._sizes.clear()
+        self._total_bytes = 0
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._items

@@ -89,16 +89,24 @@ class QueryEngine:
         Capacity of the LRU plan cache (0 disables plan caching).
     answer_cache_size:
         Capacity of the LRU answer cache (0 disables answer caching).
+    answer_cache_bytes:
+        Optional byte budget for the answer cache: columnar-scale result
+        sets are evicted by estimated size as well as by entry count, so a
+        few huge answers cannot pin the memory an entry-count bound alone
+        would allow.  ``None`` (the default) keeps the historical
+        entry-count-only behaviour.
     """
 
     def __init__(self, database: Database,
                  transformations: Mapping[str, SpectralTransformation] | None = None,
                  *, plan_cache_size: int = 256,
-                 answer_cache_size: int = 1024) -> None:
+                 answer_cache_size: int = 1024,
+                 answer_cache_bytes: int | None = None) -> None:
         self.database = database
         self.planner = Planner(database)
         self.plan_cache = LRUCache(plan_cache_size)
-        self.answer_cache = LRUCache(answer_cache_size)
+        self.answer_cache = LRUCache(answer_cache_size,
+                                     max_bytes=answer_cache_bytes)
         self._transformations: dict[str, SpectralTransformation] = dict(transformations or {})
         self._scans: dict[str, tuple[Relation, int, SequentialScan]] = {}
 
@@ -558,8 +566,8 @@ class QueryEngine:
         """Drop scans whose relation was removed or replaced in the catalog.
 
         Keeps ``_scans`` bounded by the set of live relations, so a
-        drop/recreate churn workload cannot leak scan objects (each holds a
-        full copy of the relation's records).
+        drop/recreate churn workload cannot leak scan objects (each pins the
+        relation's columnar record store).
         """
         for name in list(self._scans):
             if name not in self.database \
@@ -575,8 +583,10 @@ class QueryEngine:
         if cached is not None and cached[0] is relation and cached[1] == relation.version:
             return cached[2]
         self._evict_stale_scans()
-        scan = SequentialScan()
-        scan.extend(relation)
+        # The scan is a view over the relation's shared columnar store (the
+        # same arrays a registered k-index and the statistics sampler read);
+        # constructing it extracts nothing.
+        scan = SequentialScan(store=self.database.columnar_store(relation_name))
         self._scans[relation_name] = (relation, relation.version, scan)
         return scan
 

@@ -296,18 +296,23 @@ class Session:
     plan_cache_size / answer_cache_size:
         Forwarded to the underlying :class:`QueryEngine`; ``0`` disables the
         respective cache.
+    answer_cache_bytes:
+        Optional byte budget for the answer cache (see
+        :class:`QueryEngine`); ``None`` bounds it by entry count only.
     """
 
     def __init__(self, database: Database | None = None, *,
                  transformations: Mapping[str, SpectralTransformation] | None = None,
                  plan_cache_size: int = 256,
-                 answer_cache_size: int = 1024) -> None:
+                 answer_cache_size: int = 1024,
+                 answer_cache_bytes: int | None = None) -> None:
         self.database = database if database is not None else Database()
         #: The underlying engine — the compat escape hatch; everything the
         #: session runs goes through it (and through its caches).
         self.engine = QueryEngine(self.database, transformations,
                                   plan_cache_size=plan_cache_size,
-                                  answer_cache_size=answer_cache_size)
+                                  answer_cache_size=answer_cache_size,
+                                  answer_cache_bytes=answer_cache_bytes)
 
     # -- catalog -----------------------------------------------------------
     def relation(self, name: str,
@@ -400,7 +405,8 @@ class Session:
 def connect(database: Database | None = None, *,
             transformations: Mapping[str, SpectralTransformation] | None = None,
             plan_cache_size: int = 256,
-            answer_cache_size: int = 1024) -> Session:
+            answer_cache_size: int = 1024,
+            answer_cache_bytes: int | None = None) -> Session:
     """Open a :class:`Session` — the recommended way in.
 
     ``repro.connect()`` starts from an empty catalog;
@@ -410,4 +416,5 @@ def connect(database: Database | None = None, *,
     """
     return Session(database, transformations=transformations,
                    plan_cache_size=plan_cache_size,
-                   answer_cache_size=answer_cache_size)
+                   answer_cache_size=answer_cache_size,
+                   answer_cache_bytes=answer_cache_bytes)

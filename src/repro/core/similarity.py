@@ -137,6 +137,36 @@ class SimilarityEngine:
         self.max_states = int(max_states)
         self.max_steps_per_side = int(max_steps_per_side)
 
+    def _active_transformations(self) -> list[Transformation]:
+        return [t for t in self.rules if not isinstance(t, IdentityTransformation)]
+
+    def _rewriter(self, transformations: list[Transformation]):
+        """A memoised ``(object, its key, rule index) -> (rewritten, key)``.
+
+        Search states are already identified by their key (the ``visited``
+        dict treats equal-key objects as the same state), so rule
+        applicability — and the rewritten object itself — is a function of
+        the state key and can be derived once per (state, rule) instead of
+        on every heap expansion that reaches an equal state.  ``None`` marks
+        a rule the domain rejected for that state.
+        """
+        memo: dict[tuple[Any, int], tuple[Any, Any] | None] = {}
+
+        def rewrite(obj: Any, obj_key: Any, rule_index: int
+                    ) -> tuple[Any, Any] | None:
+            memo_key = (obj_key, rule_index)
+            if memo_key in memo:
+                return memo[memo_key]
+            try:
+                rewritten = transformations[rule_index].apply(obj)
+            except Exception:  # noqa: BLE001 - domain transformation may reject
+                rewritten = None
+            entry = None if rewritten is None else (rewritten, self.key(rewritten))
+            memo[memo_key] = entry
+            return entry
+
+        return rewrite
+
     # ------------------------------------------------------------------
     # distance
     # ------------------------------------------------------------------
@@ -150,20 +180,20 @@ class SimilarityEngine:
         the cost bound is returned.
         """
         counter = itertools.count()
-        start = (x, y, 0, 0)
-        start_cost = 0.0
         best = SimilarityResult(similar=False)
-        heap: list[tuple[float, int, tuple[Any, Any, int, int], float,
+        transformations = self._active_transformations()
+        rewrite = self._rewriter(transformations)
+        # State keys ride along in the heap entries: each object is keyed
+        # once when first produced, not on every pop that re-encounters it.
+        heap: list[tuple[float, int, tuple[Any, Any], tuple[Any, Any, int, int],
                          list[Transformation], list[Transformation]]] = []
-        heapq.heappush(heap, (0.0, next(counter), start, start_cost, [], []))
+        heapq.heappush(heap, (0.0, next(counter), (self.key(x), self.key(y)),
+                              (x, y, 0, 0), [], []))
         visited: dict[Any, float] = {}
         explored = 0
-        transformations = [t for t in self.rules
-                           if not isinstance(t, IdentityTransformation)]
         while heap and explored < self.max_states:
-            cost, _, state, _, left_steps, right_steps = heapq.heappop(heap)
+            cost, _, state_key, state, left_steps, right_steps = heapq.heappop(heap)
             current_x, current_y, left_len, right_len = state
-            state_key = (self.key(current_x), self.key(current_y))
             if state_key in visited and visited[state_key] <= cost:
                 continue
             visited[state_key] = cost
@@ -180,7 +210,7 @@ class SimilarityEngine:
                     right_steps=list(right_steps),
                 )
             # Expand: apply each transformation to either side.
-            for transformation in transformations:
+            for rule_index, transformation in enumerate(transformations):
                 new_cost = self.cost_model.combine(cost, transformation.cost)
                 if not self.cost_model.within_budget(new_cost, cost_bound):
                     continue
@@ -189,25 +219,27 @@ class SimilarityEngine:
                 if new_cost >= best.distance:
                     continue
                 if left_len < self.max_steps_per_side:
-                    try:
-                        new_x = transformation.apply(current_x)
-                    except Exception:  # noqa: BLE001 - domain transformation may reject
-                        new_x = None
-                    if new_x is not None:
-                        heapq.heappush(heap, (new_cost, next(counter),
-                                              (new_x, current_y, left_len + 1, right_len),
-                                              new_cost, left_steps + [transformation],
-                                              list(right_steps)))
+                    entry = rewrite(current_x, state_key[0], rule_index)
+                    if entry is not None:
+                        new_x, new_x_key = entry
+                        new_key = (new_x_key, state_key[1])
+                        if not (new_key in visited and visited[new_key] <= new_cost):
+                            heapq.heappush(heap, (new_cost, next(counter), new_key,
+                                                  (new_x, current_y, left_len + 1,
+                                                   right_len),
+                                                  left_steps + [transformation],
+                                                  list(right_steps)))
                 if right_len < self.max_steps_per_side:
-                    try:
-                        new_y = transformation.apply(current_y)
-                    except Exception:  # noqa: BLE001
-                        new_y = None
-                    if new_y is not None:
-                        heapq.heappush(heap, (new_cost, next(counter),
-                                              (current_x, new_y, left_len, right_len + 1),
-                                              new_cost, list(left_steps),
-                                              right_steps + [transformation]))
+                    entry = rewrite(current_y, state_key[1], rule_index)
+                    if entry is not None:
+                        new_y, new_y_key = entry
+                        new_key = (state_key[0], new_y_key)
+                        if not (new_key in visited and visited[new_key] <= new_cost):
+                            heapq.heappush(heap, (new_cost, next(counter), new_key,
+                                                  (current_x, new_y, left_len,
+                                                   right_len + 1),
+                                                  list(left_steps),
+                                                  right_steps + [transformation]))
         best.states_explored = explored
         best.similar = math.isfinite(best.distance)
         return best
@@ -238,13 +270,15 @@ class SimilarityEngine:
         if not isinstance(pattern, Pattern):
             pattern = ConstantPattern(pattern)
         counter = itertools.count()
-        heap: list[tuple[float, int, Any, list[Transformation]]] = []
-        heapq.heappush(heap, (0.0, next(counter), obj, []))
+        transformations = self._active_transformations()
+        rewrite = self._rewriter(transformations)
+        # As in :meth:`distance`, state keys are computed once (when a state
+        # is produced) and carried in the heap entries.
+        heap: list[tuple[float, int, Any, Any, list[Transformation]]] = []
+        heapq.heappush(heap, (0.0, next(counter), self.key(obj), obj, []))
         visited: dict[Any, float] = {}
         explored = 0
         best = SimilarityResult(similar=False)
-        transformations = [t for t in self.rules
-                           if not isinstance(t, IdentityTransformation)]
         targets: list[Any] | None = None
         if pattern.is_enumerable():
             try:
@@ -252,8 +286,7 @@ class SimilarityEngine:
             except Exception:  # noqa: BLE001 - fall back to matches()
                 targets = None
         while heap and explored < self.max_states:
-            cost, _, current, steps = heapq.heappop(heap)
-            state_key = self.key(current)
+            cost, _, state_key, current, steps = heapq.heappop(heap)
             if state_key in visited and visited[state_key] <= cost:
                 continue
             visited[state_key] = cost
@@ -272,16 +305,18 @@ class SimilarityEngine:
                     break
             if len(steps) >= self.max_steps_per_side:
                 continue
-            for transformation in transformations:
+            for rule_index, transformation in enumerate(transformations):
                 new_cost = self.cost_model.combine(cost, transformation.cost)
                 if not self.cost_model.within_budget(new_cost, cost_bound):
                     continue
-                try:
-                    rewritten = transformation.apply(current)
-                except Exception:  # noqa: BLE001
+                entry = rewrite(current, state_key, rule_index)
+                if entry is None:
                     continue
-                heapq.heappush(heap, (new_cost, next(counter), rewritten,
-                                      steps + [transformation]))
+                rewritten, rewritten_key = entry
+                if rewritten_key in visited and visited[rewritten_key] <= new_cost:
+                    continue
+                heapq.heappush(heap, (new_cost, next(counter), rewritten_key,
+                                      rewritten, steps + [transformation]))
         best.states_explored = explored
         return best
 

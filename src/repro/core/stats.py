@@ -352,23 +352,24 @@ def _collect_feature(database: Any, relation, sample_size: int
     index = _spatial_index_for(database, relation.name)
     if index is not None:
         return _collect_from_index(relation, index, sample_size)
-    return _collect_by_extraction(relation, sample_size)
+    return _collect_by_extraction(database, relation, sample_size)
 
 
 def _collect_from_index(relation, index, sample_size: int) -> RelationStatistics:
-    from ..timeseries.features import full_record_bytes, record_distance
+    from ..storage.columnar import pairwise_distances
 
     count = len(index)
     positions = _sample_positions(count, sample_size)
-    records = [index.record(int(i)) for i in positions]
     include_stats = bool(getattr(index.extractor, "include_stats", True))
-    fulls = [(features.full_coefficients, features.mean, features.std)
-             for _, features in records]
-    points = [features.point for _, features in records]
+    store = index.store
+    points = [index.record(int(i))[1].point for i in positions]
     answer = filter_hist = None
-    if len(records) >= 2:
-        answer = DistanceHistogram(_pairwise(
-            fulls, lambda a, b: record_distance(a, b, include_stats)))
+    if len(positions) >= 2:
+        # Exact sampled distances come straight off the columnar store —
+        # the same arrays (and the same kernel) the query paths use.
+        answer = DistanceHistogram(pairwise_distances(
+            store.coefficients, store.lengths, store.means, store.stds,
+            include_stats, row_ids=positions))
         try:
             filter_hist = DistanceHistogram(_pairwise(points, index.space.distance))
         except Exception:  # noqa: BLE001 - heterogeneous points
@@ -390,45 +391,35 @@ def _collect_from_index(relation, index, sample_size: int) -> RelationStatistics
             tree_summary = summary()
         except Exception:  # noqa: BLE001
             tree_summary = None
-    record_bytes = 64
-    if fulls:
-        record_bytes = full_record_bytes(fulls[0][0])
     return RelationStatistics(
         relation=relation.name, cardinality=count, kind="feature-indexed",
-        record_bytes=record_bytes, extent_low=extent_low,
+        record_bytes=store.record_bytes() if count else 64,
+        extent_low=extent_low,
         extent_high=extent_high, spread=spread, tree_summary=tree_summary,
         answer_histogram=answer, filter_histogram=filter_hist)
 
 
-def _collect_by_extraction(relation, sample_size: int) -> RelationStatistics:
-    """Scan-only feature relations: extract sampled records with the same
-    default extractor the executor's sequential scan uses."""
-    from ..timeseries.features import (
-        SeriesFeatureExtractor,
-        full_record_bytes,
-        record_distance,
-    )
+def _collect_by_extraction(database: Any, relation,
+                           sample_size: int) -> RelationStatistics:
+    """Scan-only feature relations: sample the relation's shared columnar
+    store — the exact arrays the executor's sequential scan reads — instead
+    of re-extracting records here."""
+    from ..storage.columnar import pairwise_distances
 
-    objects = relation.objects()
-    sampled = [objects[int(i)] for i in
-               _sample_positions(len(objects), sample_size)]
-    extractor = SeriesFeatureExtractor()
+    count = len(relation)
     answer = None
     record_bytes = 64
     try:
-        fulls = []
-        for obj in sampled:
-            features = extractor.extract(obj)
-            fulls.append((features.full_coefficients, features.mean,
-                          features.std))
-        if fulls:
-            record_bytes = full_record_bytes(fulls[0][0])
-        if len(fulls) >= 2:
-            answer = DistanceHistogram(_pairwise(
-                fulls,
-                lambda a, b: record_distance(a, b, extractor.include_stats)))
+        store = database.columnar_store(relation.name)
+        positions = _sample_positions(len(store), sample_size)
+        if len(store):
+            record_bytes = store.record_bytes()
+        if len(positions) >= 2:
+            answer = DistanceHistogram(pairwise_distances(
+                store.coefficients, store.lengths, store.means, store.stds,
+                True, row_ids=positions))
     except Exception:  # noqa: BLE001 - not series-like; stay minimal
         answer = None
     return RelationStatistics(
-        relation=relation.name, cardinality=len(objects), kind="feature",
+        relation=relation.name, cardinality=count, kind="feature",
         record_bytes=record_bytes, answer_histogram=answer)

@@ -16,9 +16,11 @@ evaluation:
    rectangle on the fly (Algorithm 2), yielding *candidates*.  Keeping only
    ``k`` coefficients can produce false hits but — by Parseval — never false
    dismissals (Lemma 1).
-3. **Postprocessing** — each candidate's full record (all normal-form
-   coefficients plus the mean and the standard deviation) is fetched and the
-   exact distance computed; candidates beyond the threshold are discarded.
+3. **Postprocessing** — the candidates' full records live in the index's
+   :class:`~repro.storage.columnar.ColumnarRecordStore`; they are gathered
+   and their exact distances computed as **one batch kernel call per query**
+   (one per whole batch on the grouped path), instead of fetching and
+   scoring Python records one at a time.
 
 The class also supports nearest-neighbour queries and index-probe all-pairs
 (self-join) queries under a transformation.
@@ -32,15 +34,20 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..core.errors import DimensionMismatchError, IndexError_, UnsafeTransformationError
+from ..core.errors import IndexError_, UnsafeTransformationError
 from ..core.objects import FeatureVector
 from ..core.spaces import PolarSpace
 from ..core.transformations import LinearTransformation, RealLinearTransformation
+from ..storage.columnar import (
+    ColumnarRecordStore,
+    exact_distances,
+    gathered_pair_distances,
+    transform_full_record,
+)
 from ..storage.pages import PageStore
 from ..timeseries.features import (
     SeriesFeatureExtractor,
     SeriesFeatures,
-    full_record_bytes,
     record_distance,
 )
 from ..timeseries.series import TimeSeries
@@ -67,6 +74,10 @@ class QueryStatistics:
     :class:`~repro.index.rtree.NodeAccessStats` and
     :class:`~repro.storage.buffer.BufferStatistics` taken per query (per
     *batch* for grouped traversals, whose shared totals expose the saving).
+
+    Batched execution keeps every counter **exact**: kernels verify gathered
+    candidate blocks, and the counters are derived from the block shapes —
+    per-element work is counted, never estimated.
     """
 
     node_accesses: int = 0
@@ -147,12 +158,11 @@ class KIndex:
         self.extractor = extractor if extractor is not None else SeriesFeatureExtractor()
         self.space = self.extractor.space
         self.tree = self._build_tree(tree_kind, max_entries, page_store)
-        self._records: dict[int, tuple[TimeSeries, SeriesFeatures]] = {}
-        self._next_record_id = 0
-        # (record count it was built at, stacked full records) — rebuilt lazily
-        # by the batched query path whenever the index has grown since.
-        self._full_matrix_cache: tuple[int, tuple[np.ndarray, np.ndarray,
-                                                  np.ndarray] | None] | None = None
+        #: Columnar full records, one row per record id (dense, insertion
+        #: order).  Shared with the executor's scan fallback and the
+        #: statistics sampler through ``Database.columnar_store``.
+        self.store = ColumnarRecordStore()
+        self._point_rows: list[np.ndarray] = []
 
     def _build_tree(self, tree_kind: str, max_entries: int,
                     page_store: PageStore | None) -> RTree:
@@ -170,12 +180,17 @@ class KIndex:
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
+    def _store_record(self, series: TimeSeries, features: SeriesFeatures) -> int:
+        record_id = self.store.append(series,
+                                      full_coefficients=features.full_coefficients,
+                                      mean=features.mean, std=features.std)
+        self._point_rows.append(features.point.values)
+        return record_id
+
     def insert(self, series: TimeSeries) -> int:
         """Index one series; returns its record id."""
         features = self.extractor.extract(series)
-        record_id = self._next_record_id
-        self._next_record_id += 1
-        self._records[record_id] = (series, features)
+        record_id = self._store_record(series, features)
         self.tree.insert(features.point.values, record_id)
         return record_id
 
@@ -202,37 +217,35 @@ class KIndex:
         series_list = list(collection)
         if not series_list:
             return index
-        features = [index.extractor.extract(series) for series in series_list]
-        for record_id, (series, feats) in enumerate(zip(series_list, features)):
-            index._records[record_id] = (series, feats)
-        index._next_record_id = len(series_list)
-        points = np.vstack([feats.point.values for feats in features])
+        for series in series_list:
+            index._store_record(series, index.extractor.extract(series))
+        points = np.vstack(index._point_rows)
         index.tree.bulk_load_points(points, list(range(len(series_list))))
         return index
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.store)
 
     def record(self, record_id: int) -> tuple[TimeSeries, SeriesFeatures]:
         """The stored series and its extracted features."""
         try:
-            return self._records[record_id]
-        except KeyError:
+            coefficients, mean, std = self.store.full_record(record_id)
+            series = self.store.series(record_id)
+            point = FeatureVector(self._point_rows[record_id])
+        except IndexError:
             raise IndexError_(f"unknown record id {record_id}") from None
+        return series, SeriesFeatures(point=point, full_coefficients=coefficients,
+                                      mean=mean, std=std)
 
     def series_list(self) -> list[TimeSeries]:
         """All indexed series, in insertion order."""
-        return [series for series, _ in self._records.values()]
+        return self.store.series_list()
 
     def structure_summary(self) -> dict[str, float]:
         """The tree's structural facts plus the full-record size — what the
         planner's cost model prices index traversals and scans with."""
         summary = self.tree.structure_summary()
-        record_bytes = 64.0
-        if self._records:
-            _, features = next(iter(self._records.values()))
-            record_bytes = float(full_record_bytes(features.full_coefficients))
-        summary["record_bytes"] = record_bytes
+        summary["record_bytes"] = float(self.store.record_bytes())
         return summary
 
     def _snapshot_tree_stats(self, statistics: QueryStatistics) -> None:
@@ -280,21 +293,9 @@ class KIndex:
                           transformation: SpectralTransformation | None
                           ) -> tuple[np.ndarray, float, float]:
         """Full coefficient record (and stats) after applying the transformation."""
-        if transformation is None:
-            return features.full_coefficients, features.mean, features.std
-        available = features.full_coefficients.shape[0]
-        if transformation.multiplier.shape[0] < 1 + available:
-            raise DimensionMismatchError(
-                f"transformation {transformation.name!r} covers "
-                f"{transformation.multiplier.shape[0]} spectral coefficients but the "
-                f"stored record has {available} (plus DC); rebuild the transformation "
-                "for the relation's series length")
-        multiplier = transformation.multiplier[1:1 + available]
-        offset = transformation.offset[1:1 + available]
-        coefficients = features.full_coefficients * multiplier + offset
-        extra = np.array([features.mean, features.std]) * transformation.extra_multiplier \
-            + transformation.extra_offset
-        return coefficients, float(extra[0]), float(extra[1])
+        return transform_full_record(features.full_coefficients, features.mean,
+                                     features.std, transformation,
+                                     owner="stored record")
 
     def _exact_distance(self, a: tuple[np.ndarray, float, float],
                         b: tuple[np.ndarray, float, float]) -> float:
@@ -319,6 +320,29 @@ class KIndex:
             return True
 
         return overlap
+
+    # ------------------------------------------------------------------
+    # verification kernels
+    # ------------------------------------------------------------------
+    def _verify_candidates(self, candidates: Sequence[int],
+                           query_full: tuple[np.ndarray, float, float],
+                           transformation: SpectralTransformation | None,
+                           epsilon: float,
+                           result: RangeQueryResult) -> None:
+        """Exact-distance postprocessing of one candidate list, as a single
+        gathered kernel call over the columnar store."""
+        result.statistics.postprocessed = len(candidates)
+        if not candidates:
+            return
+        candidate_ids = np.asarray(candidates, dtype=np.intp)
+        coefficients, means, stds = self.store.transformed_arrays(transformation)
+        distances = exact_distances(coefficients, self.store.lengths, means, stds,
+                                    *query_full, self.extractor.include_stats,
+                                    row_ids=candidate_ids)
+        keep = np.nonzero(distances <= epsilon)[0]
+        order = keep[np.argsort(distances[keep], kind="stable")]
+        result.answers = [(self.store.series(int(candidate_ids[i])),
+                           float(distances[i])) for i in order]
 
     # ------------------------------------------------------------------
     # queries
@@ -370,65 +394,22 @@ class KIndex:
                                               overlap=self._overlap_predicate())
         result = RangeQueryResult()
         result.statistics.candidates = len(candidates)
-        for record_id in candidates:
-            series, features = self.record(record_id)
-            if exact:
-                result.statistics.postprocessed += 1
-                candidate_full = self._full_transformed(features, transformation)
-                distance = self._exact_distance(candidate_full, query_full)
-            else:
-                transformed_point = self._transform_point(features.point, linear)
+        if exact:
+            self._verify_candidates(candidates, query_full, transformation,
+                                    epsilon, result)
+        else:
+            for record_id in candidates:
+                transformed_point = self._transform_point(
+                    FeatureVector(self._point_rows[record_id]), linear)
                 distance = self.space.distance(transformed_point, query_point)
-            if distance <= epsilon:
-                result.answers.append((series, distance))
-        result.answers.sort(key=lambda pair: pair[1])
+                if distance <= epsilon:
+                    result.answers.append((self.store.series(record_id), distance))
+            result.answers.sort(key=lambda pair: pair[1])
         result.statistics.node_accesses = self.tree.access_stats.total
         result.statistics.record_fetches = result.statistics.postprocessed
         self._snapshot_tree_stats(result.statistics)
         result.statistics.elapsed_seconds = time.perf_counter() - started
         return result
-
-    def _full_record_matrix(self) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
-        """All full records stacked for vectorised postprocessing.
-
-        Returns ``(coefficients, means, stds)`` with one row per record id
-        (ids are dense, assigned in insertion order), or ``None`` when the
-        stored series have differing coefficient counts and cannot be
-        stacked.  Cached until the index grows.
-        """
-        count = len(self._records)
-        if count == 0:
-            return None
-        if self._full_matrix_cache is not None and self._full_matrix_cache[0] == count:
-            return self._full_matrix_cache[1]
-        lengths = {features.full_coefficients.shape[0]
-                   for _, features in self._records.values()}
-        if len(lengths) != 1:
-            matrix = None
-        else:
-            ordered = [self._records[record_id] for record_id in range(count)]
-            matrix = (
-                np.vstack([features.full_coefficients for _, features in ordered]),
-                np.array([features.mean for _, features in ordered]),
-                np.array([features.std for _, features in ordered]),
-            )
-        self._full_matrix_cache = (count, matrix)
-        return matrix
-
-    def _exact_distances_vectorized(self, candidate_ids: np.ndarray,
-                                    query_full: tuple[np.ndarray, float, float],
-                                    matrix: tuple[np.ndarray, np.ndarray, np.ndarray]
-                                    ) -> np.ndarray:
-        """Vectorised form of :meth:`_exact_distance` over many candidates."""
-        coefficients, means, stds = matrix
-        query_coefficients, query_mean, query_std = query_full
-        common = min(coefficients.shape[1], query_coefficients.shape[0])
-        delta = coefficients[candidate_ids, :common] - query_coefficients[:common]
-        totals = np.sum(np.abs(delta) ** 2, axis=1)
-        if self.extractor.include_stats:
-            totals = (totals + (means[candidate_ids] - query_mean) ** 2
-                      + (stds[candidate_ids] - query_std) ** 2)
-        return np.sqrt(totals)
 
     def range_query_batch(self, queries: Sequence[TimeSeries | FeatureVector],
                           epsilon: float | Sequence[float], *,
@@ -439,10 +420,10 @@ class KIndex:
 
         All query windows are probed together: every tree node on the way is
         visited once for the whole batch and the entry-versus-window overlap
-        tests run as vectorised numpy kernels (see :meth:`RTree.search_many`),
-        and exact-distance postprocessing is evaluated over stacked candidate
-        records instead of one candidate at a time.  Answers are identical to
-        calling :meth:`range_query` once per query.
+        tests run as vectorised numpy kernels (see :meth:`RTree.search_many`);
+        exact-distance postprocessing gathers **all candidates of all
+        queries** into a single kernel call over the columnar store.  Answers
+        are identical to calling :meth:`range_query` once per query.
 
         ``epsilon`` may be a single threshold or one per query.  Queries
         under a ``transformation`` fall back to the per-query path (rectangle
@@ -480,45 +461,67 @@ class KIndex:
         candidate_lists = self.tree.search_many(
             windows, periodic_dims=self.space.periodic_dimension_mask())
         shared_accesses = self.tree.access_stats.total
-        matrix = self._full_record_matrix() if exact else None
-        results = []
-        for index, candidates in enumerate(candidate_lists):
-            result = RangeQueryResult()
+        results = [RangeQueryResult() for _ in queries]
+        for result, candidates in zip(results, candidate_lists):
             result.statistics.candidates = len(candidates)
             result.statistics.node_accesses = shared_accesses
-            eps = float(epsilons[index])
-            if exact and matrix is not None and candidates:
-                candidate_ids = np.asarray(candidates, dtype=np.intp)
-                distances = self._exact_distances_vectorized(
-                    candidate_ids, query_fulls[index], matrix)
-                result.statistics.postprocessed = len(candidates)
-                keep = np.nonzero(distances <= eps)[0]
-                result.answers = [
-                    (self._records[int(candidate_ids[i])][0], float(distances[i]))
-                    for i in keep.tolist()
-                ]
-            else:
+        if exact:
+            self._verify_batch(candidate_lists, query_fulls, epsilons, results)
+        else:
+            for index, candidates in enumerate(candidate_lists):
+                result = results[index]
                 for record_id in candidates:
-                    series, features = self.record(record_id)
-                    if exact:
-                        result.statistics.postprocessed += 1
-                        candidate_full = (features.full_coefficients,
-                                          features.mean, features.std)
-                        distance = self._exact_distance(candidate_full,
-                                                        query_fulls[index])
-                    else:
-                        distance = self.space.distance(features.point,
-                                                       query_points[index])
-                    if distance <= eps:
-                        result.answers.append((series, distance))
-            result.answers.sort(key=lambda pair: pair[1])
-            results.append(result)
+                    distance = self.space.distance(
+                        FeatureVector(self._point_rows[record_id]),
+                        query_points[index])
+                    if distance <= float(epsilons[index]):
+                        result.answers.append((self.store.series(record_id),
+                                               distance))
+                result.answers.sort(key=lambda pair: pair[1])
         elapsed_share = (time.perf_counter() - started) / len(queries)
         for result in results:
+            if exact:
+                result.statistics.postprocessed = result.statistics.candidates
             result.statistics.record_fetches = result.statistics.postprocessed
             self._snapshot_tree_stats(result.statistics)
             result.statistics.elapsed_seconds = elapsed_share
         return results
+
+    def _verify_batch(self, candidate_lists: Sequence[Sequence[int]],
+                      query_fulls: list[tuple[np.ndarray, float, float]],
+                      epsilons: np.ndarray,
+                      results: list[RangeQueryResult]) -> None:
+        """One gathered verification pass for a whole batch of range queries."""
+        counts = [len(candidates) for candidates in candidate_lists]
+        total = sum(counts)
+        if total == 0:
+            return
+        row_ids = np.concatenate([
+            np.asarray(candidates, dtype=np.intp) if len(candidates) else
+            np.zeros(0, dtype=np.intp) for candidates in candidate_lists])
+        query_index = np.repeat(np.arange(len(candidate_lists), dtype=np.intp),
+                                counts)
+        query_lengths = np.array([full[0].shape[0] for full in query_fulls],
+                                 dtype=np.intp)
+        width = int(query_lengths.max()) if len(query_fulls) else 0
+        query_matrix = np.zeros((len(query_fulls), width), dtype=np.complex128)
+        for position, full in enumerate(query_fulls):
+            query_matrix[position, :full[0].shape[0]] = full[0]
+        query_means = np.array([full[1] for full in query_fulls])
+        query_stds = np.array([full[2] for full in query_fulls])
+        distances = gathered_pair_distances(
+            self.store.coefficients, self.store.lengths, self.store.means,
+            self.store.stds, self.extractor.include_stats, row_ids,
+            query_matrix, query_lengths, query_means, query_stds, query_index)
+        offset = 0
+        for index, count in enumerate(counts):
+            block = distances[offset:offset + count]
+            ids = row_ids[offset:offset + count]
+            offset += count
+            keep = np.nonzero(block <= float(epsilons[index]))[0]
+            order = keep[np.argsort(block[keep], kind="stable")]
+            results[index].answers = [(self.store.series(int(ids[i])),
+                                       float(block[i])) for i in order]
 
     def nearest_neighbors_batch(self, queries: Sequence[TimeSeries | FeatureVector],
                                 k: int = 1, *,
@@ -545,7 +548,10 @@ class KIndex:
         lower bounds on exact distances), postprocesses each with its full
         record, and stops as soon as the next filter lower bound exceeds the
         current k-th exact distance — so the answer is exact, not merely a
-        re-ranking of a fixed candidate pool.
+        re-ranking of a fixed candidate pool.  Candidates arrive one at a
+        time by construction (each pull can tighten the stopping bound), so
+        verification stays incremental here; the records still come from the
+        columnar store rather than per-record Python objects.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -576,10 +582,11 @@ class KIndex:
             if len(best) >= k and lower_bound > best[k - 1][1]:
                 break
             pulled += 1
-            series, features = self.record(record_id)
-            candidate_full = self._full_transformed(features, transformation)
+            candidate_full = transform_full_record(
+                *self.store.full_record(record_id), transformation,
+                owner="stored record")
             distance = self._exact_distance(candidate_full, query_full)
-            best.append((series, distance))
+            best.append((self.store.series(record_id), distance))
             best.sort(key=lambda pair: pair[1])
             best = best[: max(k, len(best))]
         result = NearestNeighborResult(answers=best[:k])
@@ -599,12 +606,15 @@ class KIndex:
         Implemented as one index probe per stored series (methods (c)/(d) of
         the original join experiment): each series becomes a range query
         posed to the index, under the same transformation on both sides.
+        Each probe's candidate verification runs through the gathered
+        kernel, so the quadratic postprocessing is vectorised even though
+        the probes stay per-record.
         """
         started = time.perf_counter()
         pairs: list[tuple[TimeSeries, TimeSeries, float]] = []
         stats = QueryStatistics()
-        for record_id in list(self._records):
-            series, _ = self.record(record_id)
+        for record_id in range(len(self.store)):
+            series = self.store.series(record_id)
             result = self.range_query(series, epsilon, transformation=transformation)
             stats.node_accesses += result.statistics.node_accesses
             stats.candidates += result.statistics.candidates

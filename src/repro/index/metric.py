@@ -38,19 +38,28 @@ import itertools
 import time
 from typing import Any, Callable, Iterable, Sequence
 
+import numpy as np
+
 from .kindex import NearestNeighborResult, RangeQueryResult
 
 __all__ = ["MetricIndex"]
 
 
 class _Leaf:
-    """Pivot plus a bucket of (object, distance-to-pivot) entries."""
+    """Pivot plus a bucket of objects with precomputed pivot distances.
 
-    __slots__ = ("pivot", "items")
+    The bucket's distances-to-pivot live in one contiguous float array, so
+    triangle-inequality screening of a whole bucket is a single vectorised
+    comparison — only the unpruned entries pay an exact distance call.
+    """
 
-    def __init__(self, pivot: Any, items: list[tuple[Any, float]]) -> None:
+    __slots__ = ("pivot", "objects", "to_pivot")
+
+    def __init__(self, pivot: Any, objects: list[Any],
+                 to_pivot: np.ndarray) -> None:
         self.pivot = pivot
-        self.items = items
+        self.objects = objects
+        self.to_pivot = to_pivot
 
 
 class _Inner:
@@ -144,7 +153,9 @@ class MetricIndex:
             return None
         pivot, rest = objects[0], objects[1:]
         if len(rest) <= self.leaf_capacity:
-            return _Leaf(pivot, [(obj, float(self.distance(pivot, obj))) for obj in rest])
+            return _Leaf(pivot, list(rest),
+                         np.array([float(self.distance(pivot, obj)) for obj in rest],
+                                  dtype=np.float64))
         scored = sorted(((float(self.distance(pivot, obj)), position)
                          for position, obj in enumerate(rest)), key=lambda pair: pair[0])
         # Split by *rank*, not by the median value: integer-valued metrics
@@ -202,11 +213,15 @@ class MetricIndex:
                 if d <= epsilons[i]:
                     results[i].answers.append((node.pivot, d))
             if isinstance(node, _Leaf):
-                for obj, to_pivot in node.items:
-                    for i in active:
-                        if abs(pivot_distances[i] - to_pivot) > epsilons[i]:
-                            continue  # triangle inequality: d(q, obj) > epsilon
-                        stats = results[i].statistics
+                for i in active:
+                    # Triangle inequality over the whole bucket at once:
+                    # |d(q, p) - d(p, o)| > epsilon implies d(q, o) > epsilon.
+                    survivors = np.nonzero(
+                        np.abs(pivot_distances[i] - node.to_pivot)
+                        <= epsilons[i])[0]
+                    stats = results[i].statistics
+                    for position in survivors.tolist():
+                        obj = node.objects[position]
                         d = float(self.distance(queries[i], obj))
                         stats.candidates += 1
                         stats.postprocessed += 1
@@ -273,17 +288,17 @@ class MetricIndex:
             stats.postprocessed += 1
             consider(node.pivot, d)
             if isinstance(node, _Leaf):
-                # Rank bucket entries by their triangle lower bound so the
-                # most promising are resolved first, shrinking tau early.
-                ranked = sorted((abs(d - to_pivot), position, obj)
-                                for position, (obj, to_pivot) in enumerate(node.items))
-                for lower, _, obj in ranked:
-                    if lower > tau:
+                # Rank bucket entries by their (vectorised) triangle lower
+                # bound so the most promising are resolved first, shrinking
+                # tau early; entries whose bound exceeds tau are never paid.
+                lower_bounds = np.abs(d - node.to_pivot)
+                for position in np.argsort(lower_bounds, kind="stable").tolist():
+                    if lower_bounds[position] > tau:
                         break
-                    exact = float(self.distance(query, obj))
+                    exact = float(self.distance(query, node.objects[position]))
                     stats.candidates += 1
                     stats.postprocessed += 1
-                    consider(obj, exact)
+                    consider(node.objects[position], exact)
                 continue
             for child, lower_edge, upper_edge in (
                     (node.inside, node.inside_min, node.inside_max),

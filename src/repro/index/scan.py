@@ -5,15 +5,20 @@ whole relation.  Two flavours are provided, matching methods (a) and (b) of
 the original join experiment:
 
 * a **naive scan** that computes every distance in full, and
-* an **optimised scan** that stores the records in the frequency domain and
-  abandons a distance computation as soon as the running sum exceeds the
-  threshold — effective because the DFT concentrates most of the energy in
-  the first few coefficients, so non-answers are rejected after a short
-  prefix.
+* an **optimised scan** that abandons a distance computation as soon as the
+  running sum exceeds the threshold — effective because the DFT concentrates
+  most of the energy in the first few coefficients, so non-answers are
+  rejected after a short prefix.
 
-Both scans support the same transformation semantics as the
-:class:`~repro.index.kindex.KIndex`, so results are directly comparable (the
-test suite asserts they are identical).
+Both flavours execute as **blockwise kernels** over the relation's
+:class:`~repro.storage.columnar.ColumnarRecordStore` — contiguous coefficient
+matrices instead of per-record Python tuples.  Early abandoning becomes
+chunked cumulative partial sums with mask-and-refine compaction
+(:func:`~repro.storage.columnar.early_abandon_candidates`); survivors are
+re-scored exactly, so the two flavours return identical answers and differ
+only in work.  Transformation semantics match the
+:class:`~repro.index.kindex.KIndex` (the test suite asserts the results are
+identical).
 """
 
 from __future__ import annotations
@@ -23,13 +28,14 @@ from typing import Iterable
 
 import numpy as np
 
-from ..core.errors import DimensionMismatchError
-from ..storage.pages import PageStore, records_per_page as page_capacity
-from ..timeseries.features import (
-    SeriesFeatureExtractor,
-    SeriesFeatures,
-    full_record_bytes,
+from ..storage.columnar import (
+    ColumnarRecordStore,
+    early_abandon_candidates,
+    exact_distances,
+    transform_full_record,
 )
+from ..storage.pages import PageStore, records_per_page as page_capacity
+from ..timeseries.features import SeriesFeatureExtractor
 from ..timeseries.series import TimeSeries
 from ..timeseries.transforms import SpectralTransformation
 from .kindex import QueryStatistics, RangeQueryResult
@@ -38,12 +44,12 @@ __all__ = ["SequentialScan"]
 
 
 class SequentialScan:
-    """A scan-based evaluator holding the same records as a k-index would.
+    """A scan-based evaluator over a relation's columnar record store.
 
     Parameters
     ----------
     extractor:
-        The feature configuration (used for its full-record extraction and
+        The feature configuration (used for query-side extraction and the
         exact-distance definition; the index prefix itself plays no role in
         scanning).
     page_store:
@@ -56,30 +62,40 @@ class SequentialScan:
         shared :func:`~repro.storage.pages.records_per_page` arithmetic —
         the same arithmetic the planner's cost model prices scans with, so
         estimated and reported scan I/O agree by construction.
+    store:
+        An existing :class:`ColumnarRecordStore` to scan — how the executor
+        shares one store per relation between the scan fallback, the
+        statistics sampler and (through the database) the index.  Without
+        one the scan owns a fresh store filled by :meth:`insert`/:meth:`extend`.
     """
 
     def __init__(self, extractor: SeriesFeatureExtractor | None = None, *,
                  page_store: PageStore | None = None,
-                 records_per_page: int | None = None) -> None:
+                 records_per_page: int | None = None,
+                 store: ColumnarRecordStore | None = None) -> None:
         self.extractor = extractor if extractor is not None else SeriesFeatureExtractor()
-        self._records: list[tuple[TimeSeries, SeriesFeatures]] = []
+        self.store = store if store is not None else ColumnarRecordStore()
         self._page_store = page_store
         self._records_per_page = (max(1, int(records_per_page))
                                   if records_per_page is not None else None)
         self._pages: list[int] = []
+        for position in range(len(self.store)):
+            self._account_record(position)
 
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
+    def _account_record(self, position: int) -> None:
+        """Page bookkeeping for the record at ``position`` in the store."""
+        if self._records_per_page is None:
+            self._records_per_page = page_capacity(self.store.record_bytes())
+        if self._page_store is not None and position % self._records_per_page == 0:
+            self._pages.append(self._page_store.allocate(payload=[]))
+
     def insert(self, series: TimeSeries) -> None:
         """Add one series to the scanned relation."""
-        features = self.extractor.extract(series)
-        if self._records_per_page is None:
-            record_bytes = full_record_bytes(features.full_coefficients)
-            self._records_per_page = page_capacity(record_bytes)
-        self._records.append((series, features))
-        if self._page_store is not None and (len(self._records) - 1) % self._records_per_page == 0:
-            self._pages.append(self._page_store.allocate(payload=[]))
+        position = self.store.append(series)
+        self._account_record(position)
 
     def extend(self, collection: Iterable[TimeSeries]) -> None:
         """Add every series of a collection."""
@@ -87,7 +103,7 @@ class SequentialScan:
             self.insert(series)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.store)
 
     @property
     def records_per_page(self) -> int:
@@ -98,61 +114,31 @@ class SequentialScan:
     @property
     def data_pages(self) -> int:
         """Simulated data pages one full pass over the relation reads."""
-        if not self._records:
+        if len(self.store) == 0:
             return 0
-        return -(-len(self._records) // self.records_per_page)
-
-    # ------------------------------------------------------------------
-    # transformation helpers (same semantics as the k-index)
-    # ------------------------------------------------------------------
-    def _transformed_record(self, features: SeriesFeatures,
-                            transformation: SpectralTransformation | None
-                            ) -> tuple[np.ndarray, float, float]:
-        if transformation is None:
-            return features.full_coefficients, features.mean, features.std
-        available = features.full_coefficients.shape[0]
-        if transformation.multiplier.shape[0] < 1 + available:
-            raise DimensionMismatchError(
-                f"transformation {transformation.name!r} covers "
-                f"{transformation.multiplier.shape[0]} spectral coefficients but the "
-                f"stored record has {available} (plus DC); rebuild the transformation "
-                "for the relation's series length")
-        coefficients = (features.full_coefficients
-                        * transformation.multiplier[1:1 + available]
-                        + transformation.offset[1:1 + available])
-        extra = (np.array([features.mean, features.std]) * transformation.extra_multiplier
-                 + transformation.extra_offset)
-        return coefficients, float(extra[0]), float(extra[1])
-
-    def _distance(self, a: tuple[np.ndarray, float, float],
-                  b: tuple[np.ndarray, float, float],
-                  threshold: float | None = None) -> float | None:
-        """Exact distance; with a threshold, abandon early and return ``None``.
-
-        The accumulation order puts the (mean, std) terms first and then the
-        coefficients from lowest frequency up — i.e. largest contributions
-        first — which is what makes early abandoning effective.
-        """
-        limit = None if threshold is None else float(threshold) ** 2
-        total = 0.0
-        if self.extractor.include_stats:
-            total += (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2
-            if limit is not None and total > limit:
-                return None
-        coeffs_a, coeffs_b = a[0], b[0]
-        chunk = 4
-        for start in range(0, coeffs_a.shape[0], chunk):
-            segment = coeffs_a[start:start + chunk] - coeffs_b[start:start + chunk]
-            total += float(np.sum(np.abs(segment) ** 2))
-            if limit is not None and total > limit:
-                return None
-        return float(np.sqrt(total))
+        return -(-len(self.store) // self.records_per_page)
 
     def _charge_scan_io(self) -> None:
         if self._page_store is None:
             return
         for page_id in self._pages:
             self._page_store.read(page_id)
+
+    # ------------------------------------------------------------------
+    # query-side helpers
+    # ------------------------------------------------------------------
+    def _query_record(self, query: TimeSeries,
+                      transformation: SpectralTransformation | None,
+                      transform_query: bool) -> tuple[np.ndarray, float, float]:
+        features = self.extractor.extract(query)
+        record = (features.full_coefficients, features.mean, features.std)
+        if transformation is not None and transform_query:
+            return transform_full_record(*record, transformation, owner="query")
+        return record
+
+    def _data_arrays(self, transformation: SpectralTransformation | None
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.store.transformed_arrays(transformation)
 
     # ------------------------------------------------------------------
     # queries
@@ -165,23 +151,29 @@ class SequentialScan:
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
         started = time.perf_counter()
-        query_features = self.extractor.extract(query)
-        if transformation is not None and transform_query:
-            query_record = self._transformed_record(query_features, transformation)
-        else:
-            query_record = (query_features.full_coefficients, query_features.mean,
-                            query_features.std)
+        query_record = self._query_record(query, transformation, transform_query)
         self._charge_scan_io()
         result = RangeQueryResult()
-        threshold = epsilon if early_abandon else None
-        for series, features in self._records:
-            candidate = self._transformed_record(features, transformation)
-            distance = self._distance(candidate, query_record, threshold)
-            result.statistics.postprocessed += 1
-            if distance is not None and distance <= epsilon:
-                result.answers.append((series, distance))
-        result.answers.sort(key=lambda pair: pair[1])
-        result.statistics.candidates = len(self._records)
+        count = len(self.store)
+        if count:
+            coefficients, means, stds = self._data_arrays(transformation)
+            lengths = self.store.lengths
+            include_stats = self.extractor.include_stats
+            if early_abandon:
+                survivors = early_abandon_candidates(
+                    coefficients, lengths, means, stds, *query_record,
+                    include_stats, epsilon)
+            else:
+                survivors = np.arange(count, dtype=np.intp)
+            distances = exact_distances(coefficients, lengths, means, stds,
+                                        *query_record, include_stats,
+                                        row_ids=survivors)
+            keep = np.nonzero(distances <= epsilon)[0]
+            order = keep[np.argsort(distances[keep], kind="stable")]
+            result.answers = [(self.store.series(int(survivors[i])),
+                               float(distances[i])) for i in order]
+        result.statistics.postprocessed = count
+        result.statistics.candidates = count
         # One sequential pass over the data pages; exact distances come with
         # the pages already read, so no per-candidate record fetches.
         result.statistics.node_accesses = self.data_pages
@@ -195,20 +187,15 @@ class SequentialScan:
         """The ``k`` nearest series by exhaustive comparison."""
         if k <= 0:
             raise ValueError("k must be positive")
-        query_features = self.extractor.extract(query)
-        if transformation is not None and transform_query:
-            query_record = self._transformed_record(query_features, transformation)
-        else:
-            query_record = (query_features.full_coefficients, query_features.mean,
-                            query_features.std)
+        query_record = self._query_record(query, transformation, transform_query)
         self._charge_scan_io()
-        scored: list[tuple[TimeSeries, float]] = []
-        for series, features in self._records:
-            candidate = self._transformed_record(features, transformation)
-            distance = self._distance(candidate, query_record)
-            scored.append((series, float(distance)))
-        scored.sort(key=lambda pair: pair[1])
-        return scored[:k]
+        if len(self.store) == 0:
+            return []
+        coefficients, means, stds = self._data_arrays(transformation)
+        distances = exact_distances(coefficients, self.store.lengths, means, stds,
+                                    *query_record, self.extractor.include_stats)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [(self.store.series(int(i)), float(distances[i])) for i in order]
 
     def all_pairs(self, epsilon: float, *,
                   transformation: SpectralTransformation | None = None,
@@ -219,21 +206,39 @@ class SequentialScan:
         ``early_abandon=False`` reproduces method (a) of the join experiment
         (every distance computed in full); ``True`` reproduces method (b).
         Each unordered pair appears once, as in the original's accounting for
-        those two methods.
+        those two methods.  The outer loop stays per-anchor, but the inner
+        loop — the quadratic part — runs as one kernel call per anchor over
+        the suffix block.
         """
         started = time.perf_counter()
         stats = QueryStatistics()
-        transformed = [(series, self._transformed_record(features, transformation))
-                       for series, features in self._records]
-        threshold = epsilon if early_abandon else None
+        count = len(self.store)
         pairs: list[tuple[TimeSeries, TimeSeries, float]] = []
         self._charge_scan_io()
-        for i, (series_a, record_a) in enumerate(transformed):
-            for series_b, record_b in transformed[i + 1:]:
-                stats.postprocessed += 1
-                distance = self._distance(record_a, record_b, threshold)
-                if distance is not None and distance <= epsilon:
-                    pairs.append((series_a, series_b, distance))
+        if count:
+            coefficients, means, stds = self._data_arrays(transformation)
+            lengths = self.store.lengths
+            include_stats = self.extractor.include_stats
+            for anchor in range(count - 1):
+                anchor_record = (coefficients[anchor, :int(lengths[anchor])],
+                                 float(means[anchor]), float(stds[anchor]))
+                suffix = slice(anchor + 1, count)
+                if early_abandon:
+                    survivors = early_abandon_candidates(
+                        coefficients[suffix], lengths[suffix], means[suffix],
+                        stds[suffix], *anchor_record, include_stats, epsilon)
+                else:
+                    survivors = np.arange(count - anchor - 1, dtype=np.intp)
+                distances = exact_distances(
+                    coefficients[suffix], lengths[suffix], means[suffix],
+                    stds[suffix], *anchor_record, include_stats,
+                    row_ids=survivors)
+                keep = np.nonzero(distances <= epsilon)[0]
+                anchor_series = self.store.series(anchor)
+                for i in keep.tolist():
+                    other = self.store.series(anchor + 1 + int(survivors[i]))
+                    pairs.append((anchor_series, other, float(distances[i])))
+        stats.postprocessed = count * (count - 1) // 2
         stats.candidates = stats.postprocessed
         stats.node_accesses = self.data_pages
         stats.elapsed_seconds = time.perf_counter() - started

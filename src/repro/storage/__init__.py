@@ -1,7 +1,8 @@
-"""Simulated storage: pages and an LRU buffer pool for I/O accounting."""
+"""Simulated storage: pages, an LRU buffer pool and the columnar record store."""
 
 from .buffer import BufferPool, BufferStatistics
+from .columnar import ColumnarRecordStore
 from .pages import PAGE_SIZE_BYTES, IOStatistics, Page, PageStore
 
-__all__ = ["BufferPool", "BufferStatistics", "PAGE_SIZE_BYTES", "IOStatistics",
-           "Page", "PageStore"]
+__all__ = ["BufferPool", "BufferStatistics", "ColumnarRecordStore",
+           "PAGE_SIZE_BYTES", "IOStatistics", "Page", "PageStore"]

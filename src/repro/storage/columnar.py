@@ -1,0 +1,446 @@
+"""Columnar record storage and the vectorized distance kernels over it.
+
+Every hot path of the evaluation — the sequential-scan baselines, k-index
+candidate verification, metric-index leaf screening, the self-join inner
+loop, statistics sampling — needs the *full spectral record* of many stored
+series at once: all normal-form DFT coefficients plus the (mean, std) pair.
+Holding those records as per-object Python tuples forces per-record Python
+loops over every query; this module stores them **columnar** instead:
+
+* ``coefficients`` — one contiguous ``complex128`` matrix, one row per
+  record, zero-padded on the right to the widest record;
+* ``lengths`` — the true coefficient count of each row (rows of a relation
+  of equal-length series all share it, which enables the unmasked fast
+  path);
+* ``means`` / ``stds`` — the two extra statistics dimensions.
+
+The arrays grow amortised-doubling on insert/extend, so loading stays
+linear, and a monotone :attr:`ColumnarRecordStore.version` lets derived
+caches (e.g. transformed-coefficient matrices) invalidate on growth.  One
+store serves a whole relation: the :class:`~repro.core.database.Database`
+owns one per relation (``Database.columnar_store``), shares the spatial
+index's store when its contents match, and the executor's scan fallback and
+the statistics sampler read the same arrays — no path materialises its own
+record list.
+
+The module-level **kernels** implement exact record distances blockwise:
+
+* :func:`exact_distances` — one query against many rows, with the
+  common-prefix semantics of
+  :func:`~repro.timeseries.features.record_distance` (and bit-identical
+  results on equal-length data: both reduce with ``np.sum`` over the same
+  values in the same order);
+* :func:`early_abandon_candidates` — chunked cumulative partial sums with
+  mask-and-refine compaction: rows whose running sum clearly exceeds the
+  threshold are dropped after each coefficient chunk, mirroring the
+  classic early-abandon scan but over whole array blocks.  Pruning is
+  *conservative* (a tiny slack keeps borderline rows alive), so the
+  surviving rows are re-scored by :func:`exact_distances` and the answers
+  are exactly those of the non-abandoning path;
+* :func:`gathered_pair_distances` — one gathered verification pass for a
+  whole batch: arbitrary (row, query) pairs scored in a single kernel
+  call, which is how ``execute_many`` groups and the k-index batch path
+  verify all their candidates at once;
+* :func:`transform_full_record` / :meth:`ColumnarRecordStore.transformed_arrays`
+  — a spectral transformation applied to one record or to the whole matrix
+  (cached per store version).
+
+Work accounting stays exact under batching because the kernels never skip
+*counted* work: counters (candidates, postprocessed, record fetches) are
+derived from the exact row sets the kernels process, not from wall-clock
+shortcuts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import DimensionMismatchError
+
+__all__ = [
+    "ColumnarRecordStore",
+    "exact_distances",
+    "early_abandon_candidates",
+    "gathered_pair_distances",
+    "pairwise_distances",
+    "transform_full_record",
+]
+
+#: Coefficient columns consumed per early-abandon round.  The DFT
+#: concentrates energy in the first coefficients, so most non-answers are
+#: dropped after the first chunk or two.
+ABANDON_CHUNK = 8
+
+#: Relative slack applied to the early-abandon threshold so pruning stays
+#: conservative under floating-point reassociation: a row is only dropped
+#: when its partial sum *clearly* exceeds the limit, and every survivor is
+#: re-scored exactly — so abandoning changes timing, never answers.
+_PRUNE_SLACK = 1e-9
+
+
+def _full_record_of(series: Any) -> tuple[np.ndarray, float, float]:
+    """Extract (full normal-form coefficients, mean, std) from a series.
+
+    Late imports keep the storage layer free of a hard dependency cycle on
+    the time-series package at module load.
+    """
+    from ..timeseries.dft import dft
+    from ..timeseries.normalform import normal_form_values
+
+    values, mean, std = normal_form_values(series.values)
+    return dft(values)[1:], float(mean), float(std)
+
+
+class ColumnarRecordStore:
+    """Contiguous full-record arrays for one relation of series.
+
+    Records are appended (never removed); ids are dense and assigned in
+    insertion order, matching the relation's row order and the k-index's
+    record ids, so every consumer addresses the same rows by the same ids.
+    """
+
+    def __init__(self) -> None:
+        self._series: list[Any] = []
+        self._coefficients = np.zeros((0, 0), dtype=np.complex128)
+        self._lengths = np.zeros(0, dtype=np.intp)
+        self._means = np.zeros(0, dtype=np.float64)
+        self._stds = np.zeros(0, dtype=np.float64)
+        self._count = 0
+        #: (id(transformation), version) -> (transformation, coeffs, means, stds)
+        self._transformed_cache: dict[int, tuple[Any, np.ndarray, np.ndarray,
+                                                 np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def append(self, series: Any,
+               full_coefficients: np.ndarray | None = None,
+               mean: float | None = None, std: float | None = None) -> int:
+        """Store one series; returns its dense record id.
+
+        Callers that already extracted the full record (the k-index, whose
+        feature extraction also produces the indexable point) pass it in so
+        the spectrum is computed once.
+        """
+        if full_coefficients is None:
+            full_coefficients, mean, std = _full_record_of(series)
+        full_coefficients = np.asarray(full_coefficients, dtype=np.complex128)
+        record_id = self._count
+        self._reserve(record_id + 1, full_coefficients.shape[0])
+        self._coefficients[record_id, :full_coefficients.shape[0]] = full_coefficients
+        self._lengths[record_id] = full_coefficients.shape[0]
+        self._means[record_id] = float(mean)
+        self._stds[record_id] = float(std)
+        self._series.append(series)
+        self._count += 1
+        self._transformed_cache.clear()
+        return record_id
+
+    def extend(self, collection: Iterable[Any]) -> None:
+        """Append every series of a collection."""
+        for series in collection:
+            self.append(series)
+
+    def _reserve(self, rows: int, width: int) -> None:
+        capacity, current_width = self._coefficients.shape
+        new_capacity = capacity
+        new_width = max(current_width, width)
+        if rows > capacity:
+            new_capacity = max(rows, 4, capacity * 2)
+        if new_capacity != capacity or new_width != current_width:
+            grown = np.zeros((new_capacity, new_width), dtype=np.complex128)
+            grown[:self._count, :current_width] = self._coefficients[:self._count]
+            self._coefficients = grown
+        if rows > self._lengths.shape[0]:
+            for name in ("_lengths", "_means", "_stds"):
+                old = getattr(self, name)
+                fresh = np.zeros(new_capacity, dtype=old.dtype)
+                fresh[:self._count] = old[:self._count]
+                setattr(self, name, fresh)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def version(self) -> int:
+        """Monotone growth stamp (appends only); derived caches key on it."""
+        return self._count
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The (count, width) zero-padded coefficient matrix (a view)."""
+        return self._coefficients[:self._count]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """True coefficient count per row (a view)."""
+        return self._lengths[:self._count]
+
+    @property
+    def means(self) -> np.ndarray:
+        return self._means[:self._count]
+
+    @property
+    def stds(self) -> np.ndarray:
+        return self._stds[:self._count]
+
+    @property
+    def uniform_length(self) -> bool:
+        """Whether every stored record has the same coefficient count."""
+        if self._count == 0:
+            return True
+        lengths = self.lengths
+        return bool(np.all(lengths == lengths[0]))
+
+    def series(self, record_id: int) -> Any:
+        """The stored series for a record id (raises ``IndexError`` when unknown)."""
+        if not 0 <= record_id < self._count:
+            raise IndexError(f"unknown record id {record_id}")
+        return self._series[record_id]
+
+    def series_list(self) -> list[Any]:
+        """All stored series, in insertion order."""
+        return list(self._series)
+
+    def full_record(self, record_id: int) -> tuple[np.ndarray, float, float]:
+        """One record as ``(coefficients, mean, std)`` — the padding trimmed."""
+        if not 0 <= record_id < self._count:
+            raise IndexError(f"unknown record id {record_id}")
+        length = int(self._lengths[record_id])
+        return (self._coefficients[record_id, :length],
+                float(self._means[record_id]), float(self._stds[record_id]))
+
+    def record_bytes(self) -> int:
+        """Estimated bytes of one stored full record (for page arithmetic)."""
+        from ..timeseries.features import RECORD_STATS_BYTES
+
+        if self._count == 0:
+            return 64
+        return int(self._lengths[0]) * 16 + RECORD_STATS_BYTES
+
+    # ------------------------------------------------------------------
+    # transformed views
+    # ------------------------------------------------------------------
+    def transformed_arrays(self, transformation: Any | None
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(coefficients, means, stds)`` after applying a spectral
+        transformation to every record (cached until the store grows).
+
+        ``None`` returns the base arrays.  Rows shorter than the matrix
+        width carry transformation *offsets* in their padded region; the
+        kernels never read past a row's true length, so the padding is
+        inert.
+        """
+        if transformation is None:
+            return self.coefficients, self.means, self.stds
+        cached = self._transformed_cache.get(id(transformation))
+        if cached is not None and cached[0] is transformation:
+            return cached[1], cached[2], cached[3]
+        lengths = self.lengths
+        max_length = int(lengths.max()) if self._count else 0
+        if transformation.multiplier.shape[0] < 1 + max_length:
+            raise DimensionMismatchError(
+                f"transformation {transformation.name!r} covers "
+                f"{transformation.multiplier.shape[0]} spectral coefficients but a "
+                f"stored record has {max_length} (plus DC); rebuild the "
+                "transformation for the relation's series length")
+        width = self.coefficients.shape[1]
+        multiplier = transformation.multiplier[1:1 + width]
+        offset = transformation.offset[1:1 + width]
+        coefficients = self.coefficients * multiplier + offset
+        extra = np.stack([self.means, self.stds], axis=1)
+        extra = extra * transformation.extra_multiplier + transformation.extra_offset
+        entry = (transformation, coefficients, extra[:, 0].copy(), extra[:, 1].copy())
+        if len(self._transformed_cache) >= 8:
+            self._transformed_cache.clear()
+        self._transformed_cache[id(transformation)] = entry
+        return entry[1], entry[2], entry[3]
+
+    def __repr__(self) -> str:
+        return (f"ColumnarRecordStore(size={self._count}, "
+                f"width={self._coefficients.shape[1]}, "
+                f"uniform={self.uniform_length})")
+
+
+# ---------------------------------------------------------------------------
+# record-level helper shared by query-side code and the reference tests
+# ---------------------------------------------------------------------------
+def transform_full_record(full_coefficients: np.ndarray, mean: float, std: float,
+                          transformation: Any | None, *,
+                          owner: str = "record"
+                          ) -> tuple[np.ndarray, float, float]:
+    """A spectral transformation applied to one ``(coefficients, mean, std)``
+    record — the scalar twin of :meth:`ColumnarRecordStore.transformed_arrays`,
+    used for query objects and incremental (nearest-neighbour) fetches."""
+    if transformation is None:
+        return full_coefficients, mean, std
+    available = full_coefficients.shape[0]
+    if transformation.multiplier.shape[0] < 1 + available:
+        raise DimensionMismatchError(
+            f"transformation {transformation.name!r} covers "
+            f"{transformation.multiplier.shape[0]} spectral coefficients but the "
+            f"{owner} has {available} (plus DC); rebuild the transformation "
+            "for the relation's series length")
+    coefficients = (full_coefficients * transformation.multiplier[1:1 + available]
+                    + transformation.offset[1:1 + available])
+    extra = (np.array([mean, std]) * transformation.extra_multiplier
+             + transformation.extra_offset)
+    return coefficients, float(extra[0]), float(extra[1])
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+def _coefficient_sums(coefficients: np.ndarray, lengths: np.ndarray,
+                      query_coefficients: np.ndarray, query_length: int
+                      ) -> np.ndarray:
+    """Sum of squared coefficient differences over each row's common prefix."""
+    width = coefficients.shape[1]
+    columns = min(width, query_length)
+    if columns == 0:
+        return np.zeros(coefficients.shape[0], dtype=np.float64)
+    squared = np.abs(coefficients[:, :columns]
+                     - query_coefficients[:columns]) ** 2
+    common = np.minimum(lengths, query_length)
+    if np.all(common == columns):
+        return np.sum(squared, axis=1)
+    mask = np.arange(columns)[None, :] < common[:, None]
+    return np.sum(np.where(mask, squared, 0.0), axis=1)
+
+
+def exact_distances(coefficients: np.ndarray, lengths: np.ndarray,
+                    means: np.ndarray, stds: np.ndarray,
+                    query_coefficients: np.ndarray, query_mean: float,
+                    query_std: float, include_stats: bool, *,
+                    row_ids: np.ndarray | None = None) -> np.ndarray:
+    """Exact record distances of many rows to one query record.
+
+    The common-prefix semantics (and, on equal-length data, the bit pattern)
+    of :func:`~repro.timeseries.features.record_distance`, evaluated for all
+    rows — or the gathered ``row_ids`` — in one kernel call.
+    """
+    if row_ids is not None:
+        coefficients = coefficients[row_ids]
+        lengths = lengths[row_ids]
+        means = means[row_ids]
+        stds = stds[row_ids]
+    totals = _coefficient_sums(coefficients, lengths,
+                               np.asarray(query_coefficients), len(query_coefficients))
+    if include_stats:
+        totals = totals + ((means - query_mean) ** 2 + (stds - query_std) ** 2)
+    return np.sqrt(totals)
+
+
+def early_abandon_candidates(coefficients: np.ndarray, lengths: np.ndarray,
+                             means: np.ndarray, stds: np.ndarray,
+                             query_coefficients: np.ndarray, query_mean: float,
+                             query_std: float, include_stats: bool,
+                             epsilon: float, *,
+                             chunk: int = ABANDON_CHUNK) -> np.ndarray:
+    """Row indices surviving a vectorized early-abandoning scan.
+
+    Accumulates squared differences chunkwise (statistics terms first, then
+    coefficients from the lowest frequency up — largest contributions first,
+    which is what makes abandoning effective), dropping rows whose running
+    sum clearly exceeds ``epsilon**2`` after each chunk and compacting the
+    active set.  Pruned rows are *guaranteed* non-answers (partial sums only
+    grow and a small slack absorbs float reassociation), so callers re-score
+    only the survivors with :func:`exact_distances`.
+    """
+    count = coefficients.shape[0]
+    if count == 0:
+        return np.zeros(0, dtype=np.intp)
+    limit = float(epsilon) ** 2
+    bound = limit * (1.0 + _PRUNE_SLACK) + 1e-12
+    if include_stats:
+        totals = (means - query_mean) ** 2 + (stds - query_std) ** 2
+    else:
+        totals = np.zeros(count, dtype=np.float64)
+    active = np.nonzero(totals <= bound)[0]
+    totals = totals[active]
+    query_coefficients = np.asarray(query_coefficients)
+    columns = min(coefficients.shape[1], len(query_coefficients))
+    common = np.minimum(lengths, len(query_coefficients))
+    ragged = not np.all(common == columns)
+    for start in range(0, columns, chunk):
+        if active.size == 0:
+            break
+        stop = min(start + chunk, columns)
+        squared = np.abs(coefficients[active, start:stop]
+                         - query_coefficients[start:stop]) ** 2
+        if ragged:
+            mask = np.arange(start, stop)[None, :] < common[active][:, None]
+            squared = np.where(mask, squared, 0.0)
+        totals = totals + np.sum(squared, axis=1)
+        alive = totals <= bound
+        if not alive.all():
+            active = active[alive]
+            totals = totals[alive]
+    return active
+
+
+def gathered_pair_distances(coefficients: np.ndarray, lengths: np.ndarray,
+                            means: np.ndarray, stds: np.ndarray,
+                            include_stats: bool, row_ids: np.ndarray,
+                            query_matrix: np.ndarray, query_lengths: np.ndarray,
+                            query_means: np.ndarray, query_stds: np.ndarray,
+                            query_index: np.ndarray) -> np.ndarray:
+    """One exact distance per (stored row, query) pair, in a single pass.
+
+    ``row_ids[t]`` names the stored record and ``query_index[t]`` the row of
+    the stacked query arrays it is verified against — the shape produced by
+    batched traversals, where each query contributes a candidate list and
+    all candidates of all queries are verified together.
+    """
+    if row_ids.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    columns = min(coefficients.shape[1], query_matrix.shape[1])
+    gathered = coefficients[row_ids, :columns]
+    queries = query_matrix[query_index, :columns]
+    squared = np.abs(gathered - queries) ** 2
+    common = np.minimum(lengths[row_ids], query_lengths[query_index])
+    if np.all(common == columns):
+        totals = np.sum(squared, axis=1)
+    else:
+        mask = np.arange(columns)[None, :] < common[:, None]
+        totals = np.sum(np.where(mask, squared, 0.0), axis=1)
+    if include_stats:
+        totals = totals + ((means[row_ids] - query_means[query_index]) ** 2
+                           + (stds[row_ids] - query_stds[query_index]) ** 2)
+    return np.sqrt(totals)
+
+
+def pairwise_distances(coefficients: np.ndarray, lengths: np.ndarray,
+                       means: np.ndarray, stds: np.ndarray,
+                       include_stats: bool, *,
+                       row_ids: Sequence[int] | np.ndarray | None = None
+                       ) -> np.ndarray:
+    """Condensed upper-triangle distance vector over rows (or ``row_ids``).
+
+    Backs the statistics sampler: each anchor row is scored against the rows
+    after it with one :func:`exact_distances` call, so sampling shares the
+    query kernels instead of a per-pair Python loop.
+    """
+    if row_ids is not None:
+        row_ids = np.asarray(row_ids, dtype=np.intp)
+        coefficients = coefficients[row_ids]
+        lengths = lengths[row_ids]
+        means = means[row_ids]
+        stds = stds[row_ids]
+    count = coefficients.shape[0]
+    blocks = []
+    for anchor in range(count - 1):
+        length = int(lengths[anchor])
+        blocks.append(exact_distances(
+            coefficients[anchor + 1:], lengths[anchor + 1:],
+            means[anchor + 1:], stds[anchor + 1:],
+            coefficients[anchor, :length], float(means[anchor]),
+            float(stds[anchor]), include_stats))
+    if not blocks:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(blocks)

@@ -21,7 +21,8 @@ from repro import BoundQuery, PreparedQuery, Q, RelationHandle, Session, connect
 
 EXPECTED_ALL = [
     "AdditiveCostModel", "AllPairsQuery", "AnyPattern", "BoundQuery",
-    "BufferPool", "CatalogError", "ComposedTransformation", "ConstantPattern",
+    "BufferPool", "CatalogError", "ColumnarRecordStore",
+    "ComposedTransformation", "ConstantPattern",
     "CostBudget", "CostEstimate", "CostExceededError", "DataObject",
     "Database", "DimensionMismatchError", "DistanceHistogram",
     "DistanceProvider", "FeatureVector",
@@ -76,7 +77,8 @@ class TestFacadeSignatures:
         assert _signature(connect) == (
             "(database: 'Database | None' = None, *, "
             "transformations: 'Mapping[str, SpectralTransformation] | None' = None, "
-            "plan_cache_size: 'int' = 256, answer_cache_size: 'int' = 1024) "
+            "plan_cache_size: 'int' = 256, answer_cache_size: 'int' = 1024, "
+            "answer_cache_bytes: 'int | None' = None) "
             "-> 'Session'")
 
     def test_session_methods(self):

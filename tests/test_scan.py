@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.index.scan import SequentialScan
+from repro.storage.columnar import transform_full_record
 from repro.storage.pages import PageStore
 from repro.timeseries.features import SeriesFeatureExtractor
 from repro.timeseries.generators import random_walk_collection
@@ -66,10 +67,13 @@ class TestScanQueries:
         result = scan.range_query(query, 1e9, transformation=smoothing,
                                   early_abandon=False)
         query_features = extractor.extract(query)
-        query_record = scan._transformed_record(query_features, smoothing)  # noqa: SLF001
+        query_record = transform_full_record(
+            query_features.full_coefficients, query_features.mean,
+            query_features.std, smoothing)
         for series, distance in result.answers:
             features = extractor.extract(series)
-            record = scan._transformed_record(features, smoothing)  # noqa: SLF001
+            record = transform_full_record(features.full_coefficients,
+                                           features.mean, features.std, smoothing)
             expected = np.sqrt(np.sum(np.abs(record[0] - query_record[0]) ** 2)
                                + (record[1] - query_record[1]) ** 2
                                + (record[2] - query_record[2]) ** 2)
@@ -112,6 +116,6 @@ class TestScanQueries:
         scan = SequentialScan(page_store=store, records_per_page=4)
         scan.extend(random_walk_collection(20, 32, seed=9))
         reads_before = store.stats.reads
-        scan.range_query(scan._records[0][0], 1.0)  # noqa: SLF001 - test shortcut
+        scan.range_query(scan.store.series(0), 1.0)
         assert store.stats.reads - reads_before == len(scan._pages)  # noqa: SLF001
         assert len(scan._pages) == 5  # noqa: SLF001 - 20 records / 4 per page
