@@ -1,0 +1,260 @@
+"""WORKLOADS — does the advisor's configuration survive a measured replay?
+
+PR 6 closed the self-tuning loop: ``Session.autotune`` prices index
+configurations (no index / k-index per prefix / metric index) with the
+planner's own cost model against an observed workload and installs the
+winner.  This benchmark holds that loop honest with *measurements*: three
+standard seeded mixes — uniform, skewed-repeat, join-heavy — are each
+replayed under every hand-picked configuration plus the advisor's choice,
+and ``--check`` asserts
+
+* the advisor's configuration is never more than 15% worse in measured
+  weighted I/O (``io_total`` plus distance computations at the cost
+  model's exchange rate) than the best configuration of the four;
+* two replays of the same seed produce identical per-query plan choices
+  and identical per-query answers (the determinism the workload format
+  promises);
+* every configuration returns the same answers as the scan baseline for
+  every query (index choice must never change results).
+
+Each run appends per-mix/per-configuration totals to the machine-keyed
+``BENCH_perf.json`` trajectory and writes the full per-query result table
+to ``bench_workloads_results.json`` (uploaded as a CI artifact by the
+``workload-replay`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import CONFIGURATIONS, replay_workload
+from repro.bench.recording import record_run
+from repro.bench.reporting import format_table
+from repro.bench.workloads import WorkloadSpec, generate_workload
+
+#: The advisor's measured weighted cost may exceed the best hand-picked
+#: configuration's by at most this factor (the CI gate's 15%).
+TOLERANCE = 1.15
+
+#: Default path of the per-query result table artifact.
+RESULTS_PATH = "bench_workloads_results.json"
+
+
+def standard_mixes(scale: float = 1.0) -> dict[str, WorkloadSpec]:
+    """The three standard mixes, optionally scaled down for smoke runs.
+
+    * ``uniform`` — unskewed range/nearest traffic at low selectivity:
+      indexes beat the scan handily, and the advisor must rank the
+      in-memory metric index against k-index page traversals;
+    * ``skewed-repeat`` — Zipf-skewed anchors with a high repetition
+      coefficient: the answer cache absorbs repeats and the advisor must
+      still price the distinct shapes correctly;
+    * ``join-heavy`` — all-pairs joins mixed with ranges: the quadratic
+      provider join makes a metric index a trap, and the optimised scan
+      join beats per-record index probes — k-index/"no index" territory.
+    """
+
+    def sized(value: int, floor: int) -> int:
+        return max(floor, int(round(value * scale)))
+
+    return {
+        "uniform": WorkloadSpec(
+            name="uniform",
+            num_series=sized(600, 80),
+            length=128,
+            data_seed=11,
+            seed=101,
+            num_queries=sized(36, 10),
+            mix={"range": 0.75, "nearest": 0.25},
+            skew=0.0,
+            repetition=0.0,
+            selectivity=(0.002, 0.02),
+            k_choices=(1, 5, 10),
+        ),
+        "skewed-repeat": WorkloadSpec(
+            name="skewed-repeat",
+            num_series=sized(600, 80),
+            length=128,
+            data_seed=12,
+            seed=202,
+            num_queries=sized(60, 12),
+            mix={"range": 1.0},
+            skew=1.1,
+            repetition=0.55,
+            selectivity=(0.002, 0.015),
+        ),
+        "join-heavy": WorkloadSpec(
+            name="join-heavy",
+            num_series=sized(240, 60),
+            length=64,
+            data_seed=13,
+            seed=303,
+            num_queries=sized(16, 6),
+            mix={"join": 0.4, "range": 0.6},
+            skew=0.0,
+            repetition=0.0,
+            selectivity=(0.01, 0.05),
+        ),
+    }
+
+
+def run_mix(spec: WorkloadSpec) -> dict:
+    """Replay one mix under every configuration, plus an advisor repeat."""
+    workload = generate_workload(spec)
+    reports = {
+        configuration: replay_workload(workload, configuration=configuration)
+        for configuration in CONFIGURATIONS
+    }
+    return {
+        "workload": workload,
+        "reports": reports,
+        # Second fresh replay of the advisor configuration: the
+        # determinism witness the --check gate compares against.
+        "advisor_repeat": replay_workload(workload, configuration="advisor"),
+    }
+
+
+def check(results: dict[str, dict]) -> list[str]:
+    """The hard assertions behind ``--check``; returns failure messages."""
+    failures = []
+    for mix, bundle in results.items():
+        reports = bundle["reports"]
+        costs = {c: r.total_weighted_cost for c, r in reports.items()}
+        best_config = min(costs, key=costs.get)
+        best = costs[best_config]
+        if costs["advisor"] > TOLERANCE * best + 0.5:
+            failures.append(
+                f"{mix}: advisor chose {reports['advisor'].detail!r} at measured "
+                f"weighted cost {costs['advisor']:.1f}, more than 15% worse than "
+                f"{best_config!r} at {best:.1f}"
+            )
+        repeat = bundle["advisor_repeat"]
+        if repeat.plan_signature() != reports["advisor"].plan_signature():
+            failures.append(f"{mix}: two same-seed advisor replays chose different plans")
+        if repeat.answer_signature() != reports["advisor"].answer_signature():
+            failures.append(f"{mix}: two same-seed advisor replays produced different answers")
+        baseline = reports["none"]
+        for configuration, report in reports.items():
+            for result, reference in zip(report.results, baseline.results):
+                if result.answer_digest != reference.answer_digest:
+                    failures.append(
+                        f"{mix}/{configuration}: query {result.label} answers "
+                        "differ from the scan baseline"
+                    )
+                    break
+    return failures
+
+
+def summary_rows(bundle: dict) -> list[dict]:
+    rows = []
+    for configuration, report in bundle["reports"].items():
+        summary = report.summary()
+        rows.append(
+            {
+                "configuration": configuration,
+                "detail": summary["detail"],
+                "weighted cost": summary["weighted_cost"],
+                "I/O": summary["io"],
+                "distances": summary["distances"],
+                "cache hits": summary["cache_hits"],
+                "opt (ms)": summary["opt_ms"],
+                "exec (ms)": summary["exec_ms"],
+            }
+        )
+    return rows
+
+
+def write_results(path: str | Path, results: dict[str, dict], scale: float) -> None:
+    """The per-query result table (the CI artifact)."""
+    payload: dict = {"scale": scale, "tolerance": TOLERANCE, "mixes": {}}
+    for mix, bundle in results.items():
+        payload["mixes"][mix] = {
+            "workload_checksum": bundle["workload"].checksum(),
+            "advisor_choice": bundle["reports"]["advisor"].detail,
+            "configurations": {
+                configuration: {
+                    "summary": report.summary(),
+                    "queries": report.as_rows(),
+                }
+                for configuration, report in bundle["reports"].items()
+            },
+        }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def trajectory_metrics(results: dict[str, dict]) -> dict:
+    metrics: dict = {}
+    for mix, bundle in results.items():
+        for configuration, report in bundle["reports"].items():
+            metrics[f"{mix}.{configuration}.weighted_cost"] = round(report.total_weighted_cost, 2)
+        metrics[f"{mix}.advisor_choice"] = bundle["reports"]["advisor"].detail
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="workload-replay")
+def bench_workload_replay(benchmark):
+    specs = standard_mixes(scale=0.3)
+    results = benchmark(lambda: {name: run_mix(spec) for name, spec in specs.items()})
+    assert not check(results)
+
+
+# ----------------------------------------------------------------------
+# script entry point (used by the CI workload-replay job)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mix",
+        action="append",
+        choices=sorted(standard_mixes()),
+        help="replay only this mix (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale factor on relation/query counts (default 1.0)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the advisor is within 15%% of the best "
+        "configuration and replays are deterministic",
+    )
+    parser.add_argument("--no-record", action="store_true", help="do not append to BENCH_perf.json")
+    parser.add_argument(
+        "--results",
+        default=RESULTS_PATH,
+        help=f"per-query result table path (default {RESULTS_PATH})",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.scale <= 0:
+        parser.error("--scale must be positive")
+    specs = standard_mixes(arguments.scale)
+    names = arguments.mix or sorted(specs)
+    results = {name: run_mix(specs[name]) for name in names}
+    for name in names:
+        print(format_table(summary_rows(results[name]), title=f"== workload {name} =="))
+        print()
+    write_results(arguments.results, results, arguments.scale)
+    print(f"per-query result table written to {arguments.results}")
+    if not arguments.no_record:
+        record_run("workloads", trajectory_metrics(results))
+    failures = check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if arguments.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

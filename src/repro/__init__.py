@@ -53,6 +53,7 @@ The package is organised as:
 
 from __future__ import annotations
 
+from .core.advisor import IndexAdvisor, IndexRecommendation, WorkloadProfile
 from .core.cost import AdditiveCostModel, CostBudget, MaxCostModel
 from .core.database import Database, DistanceProvider, Relation, Row
 from .core.distance import city_block, euclidean, euclidean_with_early_abandon
@@ -156,6 +157,7 @@ __all__ = [
     "QueryEngine", "QueryOutcome", "parse_query", "Planner", "explain",
     "CostEstimate", "QueryCostModel", "RejectedPlan",
     "DistanceHistogram", "RelationStatistics",
+    "IndexAdvisor", "IndexRecommendation", "WorkloadProfile",
     "connect", "Session", "PreparedQuery", "BoundQuery", "RelationHandle",
     "Q", "Param", "QueryBuilder",
     "TransformationRuleSet",

@@ -1,14 +1,22 @@
-"""Experiment harness: workloads, per-figure reproduction functions, reporting,
-and the recorded-baseline trajectory (``BENCH_perf.json``)."""
+"""Experiment harness: workloads, per-figure reproduction functions, the
+seeded workload generator + replay runner, reporting, and the recorded
+baseline trajectory (``BENCH_perf.json``)."""
 
 from .experiments import EXPERIMENTS, run_experiment
+from .harness import (CONFIGURATIONS, ExecutionResult, ReplayReport,
+                      prepare_session, replay_workload)
 from .recording import latest_metrics, load_trajectory, machine_key, record_run
 from .reporting import format_markdown_table, format_table, summarize_ratio
-from .workloads import Workload, pick_queries, stock_workload, synthetic_workload
+from .workloads import (ExperimentFixture, Workload, WorkloadQuery,
+                        WorkloadSpec, generate_workload, pick_queries,
+                        stock_workload, synthetic_workload)
 
 __all__ = [
     "EXPERIMENTS", "run_experiment",
     "format_table", "format_markdown_table", "summarize_ratio",
-    "Workload", "pick_queries", "stock_workload", "synthetic_workload",
+    "ExperimentFixture", "pick_queries", "stock_workload", "synthetic_workload",
+    "Workload", "WorkloadQuery", "WorkloadSpec", "generate_workload",
+    "CONFIGURATIONS", "ExecutionResult", "ReplayReport",
+    "prepare_session", "replay_workload",
     "machine_key", "load_trajectory", "record_run", "latest_metrics",
 ]

@@ -35,7 +35,7 @@ from ..timeseries.transforms import (
     moving_average_spectral,
     reverse_spectral,
 )
-from .workloads import Workload, stock_workload, synthetic_workload
+from .workloads import ExperimentFixture, stock_workload, synthetic_workload
 
 __all__ = [
     "figure8_query_time_vs_length",
@@ -66,7 +66,7 @@ def _time_queries(run: Callable[[], Any], repetitions: int = 1) -> float:
     return mean(samples)
 
 
-def _epsilon_for(workload: Workload, target_fraction: float = 0.01,
+def _epsilon_for(workload: ExperimentFixture, target_fraction: float = 0.01,
                  transformation=None) -> float:
     """A threshold returning roughly ``target_fraction`` of the workload.
 

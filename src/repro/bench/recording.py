@@ -25,14 +25,16 @@ benchmarks' ``--no-record`` flag to measure without touching it.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
 from typing import Any
 
-__all__ = ["machine_key", "load_trajectory", "record_run", "latest_metrics",
-           "DEFAULT_PATH", "MAX_ENTRIES"]
+__all__ = ["machine_key", "git_sha", "load_trajectory", "record_run",
+           "latest_metrics", "DEFAULT_PATH", "MAX_ENTRIES"]
 
 #: Default trajectory file (relative to the working directory — the
 #: repository root for CI and the documented invocations).
@@ -46,6 +48,23 @@ def machine_key() -> str:
     """A coarse hardware/runtime fingerprint: baselines only compare within it."""
     return (f"{platform.system().lower()}-{platform.machine().lower()}"
             f"-py{sys.version_info.major}.{sys.version_info.minor}")
+
+
+def git_sha() -> str | None:
+    """The commit being measured, best-effort: ``GITHUB_SHA`` in CI, the
+    repository's ``HEAD`` otherwise, ``None`` when neither is available —
+    recording must never fail because git is absent."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        completed = subprocess.run(["git", "rev-parse", "HEAD"],
+                                   capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
 
 
 def load_trajectory(path: str | Path = DEFAULT_PATH) -> dict[str, Any]:
@@ -65,11 +84,16 @@ def record_run(benchmark: str, metrics: dict[str, Any], *,
                path: str | Path = DEFAULT_PATH) -> dict[str, Any]:
     """Append one run's metrics under the current machine key and persist.
 
-    Returns the entry written (timestamp plus metrics).
+    Returns the entry written: timestamp, the commit's git SHA when
+    determinable (so CI-artifact trajectories are attributable to
+    commits), and the metrics.
     """
     data = load_trajectory(path)
     runs = data["machines"].setdefault(machine_key(), {}).setdefault(benchmark, [])
-    entry = {"timestamp": time.time(), "metrics": dict(metrics)}
+    entry: dict[str, Any] = {"timestamp": time.time(), "metrics": dict(metrics)}
+    sha = git_sha()
+    if sha:
+        entry["sha"] = sha
     runs.append(entry)
     del runs[:-MAX_ENTRIES]
     Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

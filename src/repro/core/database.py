@@ -371,6 +371,25 @@ class Database:
         self._columnar[relation_name] = (relation, relation.version, store, owned)
         return store
 
+    def drop_index(self, relation_name: str, index_name: str = "default") -> None:
+        """Remove a registered index.
+
+        The catalog-version bump invalidates cached plans and answers over
+        the relation by construction, and statistics collected under the
+        old index set go stale through their basis (see
+        :func:`~repro.core.stats.statistics_basis`), so the next plan
+        re-collects.  Raises :class:`CatalogError` when no such index is
+        registered.
+        """
+        index_map = self._indexes.get(relation_name)
+        if not index_map or index_name not in index_map:
+            raise CatalogError(
+                f"no index {index_name!r} registered for relation {relation_name!r}")
+        del index_map[index_name]
+        if not index_map:
+            del self._indexes[relation_name]
+        self._catalog_version += 1
+
     def has_index(self, relation_name: str, index_name: str = "default") -> bool:
         """Whether an index is registered for the relation."""
         return index_name in self._indexes.get(relation_name, ())
@@ -412,6 +431,17 @@ class Database:
         self._distance_providers[relation_name] = provider
         self._catalog_version += 1
         return provider
+
+    def drop_distance(self, relation_name: str) -> None:
+        """Remove a relation's distance provider (queries fall back to the
+        feature paths).  Bumps the catalog version, so cached plans and
+        answers are invalidated by construction; raises
+        :class:`CatalogError` when no provider is registered."""
+        if relation_name not in self._distance_providers:
+            raise CatalogError(
+                f"no distance provider registered for relation {relation_name!r}")
+        del self._distance_providers[relation_name]
+        self._catalog_version += 1
 
     def distance_provider(self, relation_name: str) -> DistanceProvider:
         """The distance provider registered for a relation."""

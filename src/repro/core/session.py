@@ -42,6 +42,8 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..timeseries.transforms import SpectralTransformation
+from .advisor import (IndexAdvisor, IndexRecommendation, WorkloadProfile,
+                      apply_recommendation, reset_advisor_configuration)
 from .database import Database, DistanceProvider, Relation, Row
 from .errors import CatalogError, QueryPlanningError
 from .objects import DataObject
@@ -349,6 +351,39 @@ class Session:
         shape, and to do the sampling at a moment of the caller's choosing.)
         """
         return self.database.analyze(relation_name)
+
+    def advise(self, relation_name: str, workload: Any) -> IndexRecommendation:
+        """Recommend an index configuration for a relation, given a workload.
+
+        ``workload`` is either a :class:`~repro.bench.workloads.Workload`
+        (anything with a ``profile()`` method) or a ready-made
+        :class:`~repro.core.advisor.WorkloadProfile`.  Candidates — no
+        index, a k-index per considered prefix length, a metric index over
+        the exact distance — are priced with the planner's own cost model
+        against the profile; nothing is installed.  See
+        :meth:`autotune` for the mutating variant.
+        """
+        profile = workload.profile() if hasattr(workload, "profile") else workload
+        if not isinstance(profile, WorkloadProfile):
+            raise CatalogError(
+                "advise needs a Workload (with .profile()) or a WorkloadProfile, "
+                f"got {type(workload).__name__}")
+        return IndexAdvisor().recommend(self.database, relation_name, profile)
+
+    def autotune(self, relation_name: str, workload: Any) -> IndexRecommendation:
+        """Advise and *install*: self-tune a relation's index configuration.
+
+        Drops the current ``"default"`` index and any advisor-registered
+        distance provider (user-registered providers are preserved), runs
+        :meth:`advise` against the cleaned catalog, and installs the chosen
+        configuration through the ordinary catalog APIs — so cached plans
+        and answers are invalidated by construction and the next query runs
+        against the tuned physical design.  Returns the recommendation.
+        """
+        reset_advisor_configuration(self.database, relation_name)
+        recommendation = self.advise(relation_name, workload)
+        apply_recommendation(self.database, recommendation)
+        return recommendation
 
     # -- execution ---------------------------------------------------------
     def sql(self, query: str | Query | Any,

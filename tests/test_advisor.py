@@ -1,0 +1,180 @@
+"""Index advisor: candidate pricing, recommendation, catalog installation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import (
+    ADVISOR_PROVIDER_NAME,
+    CandidateConfiguration,
+    IndexAdvisor,
+    ProfiledQuery,
+    WorkloadProfile,
+)
+from repro.core.database import DistanceProvider
+from repro.core.errors import CatalogError
+from repro.core.session import connect
+from repro.core.stats import DistanceHistogram, RelationStatistics
+from repro.bench.workloads import WorkloadSpec, generate_workload
+from repro.timeseries.generators import random_walk_collection
+
+
+def _provider_stats(cardinality: int, distances) -> RelationStatistics:
+    return RelationStatistics(
+        relation="r",
+        cardinality=cardinality,
+        kind="provider",
+        record_bytes=256,
+        answer_histogram=DistanceHistogram(np.asarray(distances, dtype=np.float64)),
+    )
+
+
+def _profile(*entries: ProfiledQuery) -> WorkloadProfile:
+    return WorkloadProfile(relation="r", entries=entries, total_queries=len(entries))
+
+
+class TestSyntheticStatistics:
+    """Pure pricing tests: no catalog, hand-built RelationStatistics."""
+
+    def test_selective_range_mix_prefers_metric_index(self):
+        # Pair distances cluster far above the query radius: the metric
+        # tree prunes almost everything while the provider scan pays one
+        # exact distance per record, every query.
+        stats = _provider_stats(1000, np.linspace(5.0, 50.0, 200))
+        candidates = [
+            CandidateConfiguration(kind="none", num_coefficients=None, statistics=stats),
+            CandidateConfiguration(kind="metric", num_coefficients=None, statistics=stats),
+        ]
+        advisor = IndexAdvisor()
+        profile = _profile(ProfiledQuery(family="range", epsilon=0.5, weight=10.0))
+        for candidate in candidates:
+            candidate.estimated_cost = advisor.price(candidate, profile, 1000)
+        recommendation = advisor.recommend_from("r", profile, candidates)
+        assert recommendation.kind == "metric"
+        assert candidates[1].estimated_cost < candidates[0].estimated_cost
+
+    def test_join_mix_ties_to_the_simpler_configuration(self):
+        # Both configurations run the same quadratic provider join, so the
+        # estimates tie — and within the tie band the simpler design wins.
+        stats = _provider_stats(200, np.linspace(1.0, 10.0, 100))
+        candidates = [
+            CandidateConfiguration(kind="none", num_coefficients=None, statistics=stats),
+            CandidateConfiguration(kind="metric", num_coefficients=None, statistics=stats),
+        ]
+        advisor = IndexAdvisor()
+        profile = _profile(ProfiledQuery(family="join", epsilon=2.0))
+        for candidate in candidates:
+            candidate.estimated_cost = advisor.price(candidate, profile, 200)
+        recommendation = advisor.recommend_from("r", profile, candidates)
+        assert recommendation.kind == "none"
+        assert candidates[0].estimated_cost == candidates[1].estimated_cost
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(CatalogError):
+            IndexAdvisor().recommend_from("r", _profile(), [])
+
+    def test_profile_weights_scale_costs(self):
+        stats = _provider_stats(100, np.linspace(1.0, 10.0, 50))
+        candidate = CandidateConfiguration(
+            kind="none", num_coefficients=None, statistics=stats)
+        advisor = IndexAdvisor()
+        single = advisor.price(
+            candidate, _profile(ProfiledQuery(family="range", epsilon=1.0)), 100)
+        tripled = advisor.price(
+            candidate,
+            _profile(ProfiledQuery(family="range", epsilon=1.0, weight=3.0)), 100)
+        assert tripled == pytest.approx(3.0 * single)
+
+
+class TestLiveRecommendation:
+    """End-to-end: advise/autotune against a real catalog."""
+
+    SELECTIVE = WorkloadSpec(
+        name="selective", num_series=150, length=32, data_seed=3, seed=5,
+        num_queries=12, mix={"range": 1.0}, selectivity=(0.005, 0.02))
+    SCAN_CHEAP = WorkloadSpec(
+        name="scan-cheap", num_series=150, length=32, data_seed=3, seed=5,
+        num_queries=12, mix={"range": 1.0}, selectivity=(0.6, 0.9))
+
+    def _session(self, spec):
+        workload = generate_workload(spec)
+        session = connect()
+        session.relation(spec.relation, workload.data())
+        return session, workload
+
+    def test_selective_mix_recommends_an_index(self):
+        session, workload = self._session(self.SELECTIVE)
+        recommendation = session.advise("series", workload)
+        assert recommendation.kind in ("kindex", "metric")
+        kinds = [candidate.kind for candidate in recommendation.candidates]
+        assert kinds[0] == "none" and "metric" in kinds and "kindex" in kinds
+
+    def test_scan_cheap_mix_recommends_no_index(self):
+        session, workload = self._session(self.SCAN_CHEAP)
+        recommendation = session.advise("series", workload)
+        assert recommendation.kind == "none"
+
+    def test_autotune_installs_through_the_catalog(self):
+        session, workload = self._session(self.SELECTIVE)
+        database = session.database
+        assert not database.has_index("series")
+        recommendation = session.autotune("series", workload)
+        assert database.has_index("series")
+        if recommendation.kind == "metric":
+            provider = database.distance_provider("series")
+            assert provider.name == ADVISOR_PROVIDER_NAME
+
+    def test_autotune_preserves_answers(self):
+        session, workload = self._session(self.SELECTIVE)
+        query = workload.queries[0]
+        before = session.sql(query.text, query.bindings()).answers
+        session.autotune("series", workload)
+        after = session.sql(query.text, query.bindings()).answers
+        names = lambda answers: sorted(obj.name for obj, _ in answers)  # noqa: E731
+        assert names(after) == names(before)
+
+    def test_reautotune_resets_the_previous_choice(self):
+        session, workload = self._session(self.SELECTIVE)
+        session.autotune("series", workload)
+        scan_workload = generate_workload(self.SCAN_CHEAP)
+        recommendation = session.autotune("series", scan_workload)
+        database = session.database
+        assert recommendation.kind == "none"
+        assert not database.has_index("series")
+        assert not database.has_distance_provider("series")
+
+    def test_user_provider_is_never_dropped(self):
+        session, workload = self._session(self.SELECTIVE)
+        from repro.core.advisor import series_exact_distance
+        session.database.register_distance(
+            "series",
+            DistanceProvider(distance=series_exact_distance(), name="user-metric"))
+        session.autotune("series", workload)
+        provider = session.database.distance_provider("series")
+        assert provider.name == "user-metric"
+
+    def test_advise_rejects_non_profile_workloads(self):
+        session, _ = self._session(self.SELECTIVE)
+        with pytest.raises(CatalogError):
+            session.advise("series", object())
+
+    def test_empty_relation_rejected(self):
+        session = connect()
+        session.relation("series", [])
+        workload = generate_workload(self.SELECTIVE)
+        with pytest.raises(CatalogError):
+            session.advise("series", workload)
+
+    def test_stale_whatif_index_is_rebuilt(self):
+        session, workload = self._session(self.SELECTIVE)
+        recommendation = session.advise("series", workload)
+        # The relation grows between advising and installing: the stale
+        # what-if index must be rebuilt to cover the new rows.
+        extra = random_walk_collection(10, 32, seed=99)
+        session.relation("series").insert_many(extra)
+        from repro.core.advisor import apply_recommendation
+        apply_recommendation(session.database, recommendation)
+        if recommendation.kind in ("kindex", "metric"):
+            index = session.database.index("series")
+            assert len(index) == len(session.database.relation("series"))

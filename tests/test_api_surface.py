@@ -27,6 +27,7 @@ EXPECTED_ALL = [
     "Database", "DimensionMismatchError", "DistanceHistogram",
     "DistanceProvider", "FeatureVector",
     "FunctionTransformation", "GenericObject", "IdentityTransformation",
+    "IndexAdvisor", "IndexRecommendation",
     "KIndex", "LinearTransformation", "MaxCostModel", "MetricIndex",
     "MovingAverageTransform", "NearestNeighborQuery", "NearestNeighborResult",
     "PageStore", "Param", "Pattern", "PatternError", "Planner", "PolarSpace",
@@ -42,6 +43,7 @@ EXPECTED_ALL = [
     "SpectralTransformation", "StockArchiveConfig", "StringObject",
     "TimeSeries", "TimeWarpTransform", "Transformation",
     "TransformationRuleSet", "TransformedPattern", "UnsafeTransformationError",
+    "WorkloadProfile",
     "__version__", "city_block", "connect", "dft", "dtw_distance",
     "edit_distance_provider", "euclidean", "euclidean_with_early_abandon",
     "explain", "identity_spectral", "inverse_dft", "is_similar",
@@ -101,6 +103,13 @@ class TestFacadeSignatures:
             "(self, name: 'str', transformation: 'SpectralTransformation') "
             "-> 'Session'")
         assert _signature(Session.analyze) == "(self, relation_name: 'str')"
+        # PR 6: the self-tuning entry points.
+        assert _signature(Session.advise) == (
+            "(self, relation_name: 'str', workload: 'Any') "
+            "-> 'IndexRecommendation'")
+        assert _signature(Session.autotune) == (
+            "(self, relation_name: 'str', workload: 'Any') "
+            "-> 'IndexRecommendation'")
 
     def test_prepared_query_methods(self):
         assert _signature(PreparedQuery.run) == (

@@ -104,6 +104,38 @@ class TestDatabase:
         with pytest.raises(CatalogError):
             database.drop_relation("r")
 
+    def test_drop_index(self):
+        database = Database()
+        database.create_relation("r")
+        database.register_index("r", object())
+        before = database.state_token("r")
+        database.drop_index("r")
+        assert not database.has_index("r")
+        assert database.state_token("r") != before
+        with pytest.raises(CatalogError):
+            database.drop_index("r")
+
+    def test_drop_index_keeps_siblings(self):
+        database = Database()
+        database.create_relation("r")
+        database.register_index("r", object(), index_name="a")
+        database.register_index("r", object(), index_name="b")
+        database.drop_index("r", "a")
+        assert not database.has_index("r", "a")
+        assert database.has_index("r", "b")
+
+    def test_drop_distance(self):
+        from repro.core.database import DistanceProvider
+        database = Database()
+        database.create_relation("r")
+        database.register_distance("r", DistanceProvider(lambda a, b: 0.0))
+        before = database.state_token("r")
+        database.drop_distance("r")
+        assert not database.has_distance_provider("r")
+        assert database.state_token("r") != before
+        with pytest.raises(CatalogError):
+            database.drop_distance("r")
+
 
 class TestInsertDoesNotMutateCaller:
     """Regression: insert(row, attributes) used to update the caller's dict."""
