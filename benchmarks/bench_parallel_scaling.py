@@ -1,0 +1,246 @@
+"""PARALLEL — do partitioned scans actually scale across cores, bit-identically?
+
+PR 7 fans the sequential scan's blockwise kernels across fixed-size row
+partitions on a shared thread pool: the NumPy distance kernels release the
+GIL, so partitions execute on separate cores, and the merge steps (stable
+concatenate-and-sort for ranges, k-way heap merge for NN, anchor-ordered
+blocks for the join) reproduce the serial answer orders exactly.  This
+benchmark measures the scaling curve on the evaluation's 1200x128 shape and
+checks
+
+* answers at every worker count are **bit-identical** to serial execution
+  (ids, distances and the exact work counters), always, and
+* on a machine with at least 4 cores, 4 workers deliver at least a 2.5x
+  speedup over serial for both the range scan and the join (the floor the
+  multi-core CI job enforces; on smaller machines the floor is reported but
+  not enforced — a 1-vCPU runner cannot exhibit parallel speedup).
+
+Runnable under pytest-benchmark like the other ``bench_*`` files, or
+directly as a script; the CI multi-core job runs the script with ``--check``
+and archives the recorded trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.recording import record_run
+from repro.index.scan import SequentialScan
+from repro.timeseries.features import SeriesFeatureExtractor
+from repro.timeseries.generators import random_walk_collection
+
+#: Worker counts the scaling curve sweeps (1 = the serial baseline).
+WORKER_SWEEP = [1, 2, 4]
+
+#: The ``--check`` floor: minimum speedup at 4 workers for scan and join,
+#: enforced only when the machine actually has 4 or more cores.
+SPEEDUP_FLOOR = 2.5
+
+
+def _fingerprint_range(result) -> tuple:
+    """Exact content of a range result: distances, answer bytes, counters."""
+    return (
+        tuple((series.values.tobytes(), float(distance))
+              for series, distance in result.answers),
+        result.statistics.node_accesses,
+        result.statistics.candidates,
+        result.statistics.postprocessed,
+    )
+
+
+def _fingerprint_nn(answers) -> tuple:
+    return tuple((series.values.tobytes(), float(distance))
+                 for series, distance in answers)
+
+
+def _fingerprint_join(pairs, statistics) -> tuple:
+    return (
+        tuple((left.values.tobytes(), right.values.tobytes(), float(distance))
+              for left, right, distance in pairs),
+        statistics.node_accesses,
+        statistics.candidates,
+        statistics.postprocessed,
+    )
+
+
+def _time(function, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return 1000.0 * best
+
+
+def run_suite(num_series: int = 1200, length: int = 128,
+              num_queries: int = 4, k: int = 10,
+              workers_sweep: list[int] | None = None) -> dict:
+    """Measure the scaling curve and verify bit-identity at every point."""
+    workers_sweep = list(workers_sweep or WORKER_SWEEP)
+    if workers_sweep[0] != 1:
+        workers_sweep.insert(0, 1)
+    data = random_walk_collection(num_series, length, seed=29)
+    extractor = SeriesFeatureExtractor(2)
+    base = SequentialScan(extractor)
+    base.extend(data)
+    queries = data[:: max(1, len(data) // num_queries)][:num_queries]
+    # Radii at fixed quantiles of the measured distance distribution, so the
+    # sweep spans selective to unselective answer sets at any shape.
+    sample = np.array([distance for _, distance
+                       in base.nearest_neighbors(queries[0], len(data))])
+    radii = [float(np.quantile(sample, q)) for q in (0.02, 0.2, 0.6)]
+    join_epsilon = radii[0]
+
+    reference: dict | None = None
+    curve = []
+    for workers in workers_sweep:
+        scan = SequentialScan(extractor, store=base.store, workers=workers)
+
+        def run_ranges():
+            return [_fingerprint_range(scan.range_query(query, radius))
+                    for query in queries for radius in radii]
+
+        def run_nn():
+            return [_fingerprint_nn(scan.nearest_neighbors(query, k))
+                    for query in queries]
+
+        def run_join():
+            return _fingerprint_join(*scan.all_pairs(join_epsilon))
+
+        fingerprints = {"range": run_ranges(), "nn": run_nn(),
+                        "join": run_join()}
+        if reference is None:
+            reference = fingerprints
+        point = {
+            "workers": workers,
+            "scan_ms": _time(run_ranges),
+            "nn_ms": _time(run_nn),
+            "join_ms": _time(run_join, repeats=2),
+            "identical": fingerprints == reference,
+        }
+        curve.append(point)
+
+    serial = curve[0]
+    for point in curve:
+        point["scan_speedup"] = serial["scan_ms"] / max(point["scan_ms"], 1e-9)
+        point["nn_speedup"] = serial["nn_ms"] / max(point["nn_ms"], 1e-9)
+        point["join_speedup"] = serial["join_ms"] / max(point["join_ms"], 1e-9)
+
+    metrics: dict = {
+        "num_series": num_series, "length": length,
+        "num_queries": len(queries), "k": k,
+        "cpu_count": os.cpu_count() or 1,
+        "workers_sweep": workers_sweep,
+    }
+    for point in curve:
+        prefix = f"w{point['workers']}"
+        for key in ("scan_ms", "nn_ms", "join_ms", "scan_speedup",
+                    "nn_speedup", "join_speedup"):
+            metrics[f"{prefix}_{key}"] = round(point[key], 3)
+        metrics[f"{prefix}_identical"] = point["identical"]
+    metrics["identical"] = all(point["identical"] for point in curve)
+    metrics["curve"] = curve
+    return metrics
+
+
+def check(metrics: dict) -> list[str]:
+    """The hard assertions behind ``--check``; returns failure messages.
+
+    Bit-identity is unconditional.  The speedup floor only binds when the
+    machine has at least 4 cores — a smaller runner cannot exhibit the
+    parallelism this benchmark exists to measure.
+    """
+    failures = []
+    for point in metrics["curve"]:
+        if not point["identical"]:
+            failures.append(
+                f"answers at workers={point['workers']} are not bit-identical "
+                "to serial execution")
+    four = next((point for point in metrics["curve"]
+                 if point["workers"] == 4), None)
+    if four is None:
+        return failures
+    if metrics["cpu_count"] < 4:
+        print(f"note: only {metrics['cpu_count']} core(s) available — the "
+              f"{SPEEDUP_FLOOR}x speedup floor is reported, not enforced")
+        return failures
+    for name in ("scan", "join"):
+        speedup = four[f"{name}_speedup"]
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{name} speedup at 4 workers is {speedup:.2f}x, below the "
+                f"{SPEEDUP_FLOOR}x floor on a {metrics['cpu_count']}-core "
+                "machine")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="parallel-scaling")
+def bench_parallel_scaling(benchmark):
+    metrics = benchmark(lambda: run_suite(400, 64, 3, workers_sweep=[1, 4]))
+    assert not check(metrics)
+
+
+# ----------------------------------------------------------------------
+# script entry point (used by the CI multi-core job)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--series", type=int, default=1200,
+                        help="relation size (default 1200)")
+    parser.add_argument("--length", type=int, default=128,
+                        help="series length (default 128)")
+    parser.add_argument("--queries", type=int, default=4,
+                        help="queries per radius (default 4)")
+    parser.add_argument("--workers", type=int, nargs="+", default=WORKER_SWEEP,
+                        help="worker counts to sweep (default: 1 2 4)")
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="trajectory file to append to "
+                             "(default BENCH_perf.json)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure only; do not touch the trajectory file")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless answers are bit-identical at every "
+                             "worker count and (on a 4+ core machine) 4 "
+                             "workers beat serial by the recorded floor")
+    arguments = parser.parse_args(argv)
+    if arguments.series < 50 or arguments.queries < 1 or arguments.length < 16:
+        parser.error("--series >= 50, --queries >= 1, --length >= 16 required")
+    if any(w < 1 for w in arguments.workers):
+        parser.error("--workers must all be >= 1")
+    metrics = run_suite(arguments.series, arguments.length, arguments.queries,
+                        workers_sweep=arguments.workers)
+    print(f"== partition-parallel scan scaling ({metrics['num_series']} walks "
+          f"x {metrics['length']}, {metrics['num_queries']} queries, "
+          f"{metrics['cpu_count']} core(s)) ==")
+    print(f"{'workers':>7} {'scan ms':>9} {'NN ms':>9} {'join ms':>9} "
+          f"{'scan x':>7} {'NN x':>7} {'join x':>7}  identical")
+    for point in metrics["curve"]:
+        print(f"{point['workers']:7d} {point['scan_ms']:9.2f} "
+              f"{point['nn_ms']:9.2f} {point['join_ms']:9.2f} "
+              f"{point['scan_speedup']:6.2f}x {point['nn_speedup']:6.2f}x "
+              f"{point['join_speedup']:6.2f}x  {point['identical']}")
+    if not arguments.no_record:
+        recorded = {key: value for key, value in metrics.items()
+                    if key != "curve"}
+        record_run("parallel_scaling", recorded, path=arguments.output)
+        print(f"recorded under machine key in {arguments.output}")
+    failures = check(metrics)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if arguments.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -99,6 +99,7 @@ from .core.transformations import (
 from .index.geometry import Rect, mindist, minmaxdist
 from .index.kindex import KIndex, NearestNeighborResult, RangeQueryResult
 from .index.metric import MetricIndex
+from .index.partitioned import PartitionedIndex, PartitionedMetricIndex
 from .index.rstar import RStarTree
 from .index.rtree import RTree
 from .index.scan import SequentialScan
@@ -167,6 +168,7 @@ __all__ = [
     "ComposedTransformation", "LinearTransformation", "RealLinearTransformation",
     "Rect", "mindist", "minmaxdist",
     "KIndex", "MetricIndex", "RangeQueryResult", "NearestNeighborResult",
+    "PartitionedIndex", "PartitionedMetricIndex",
     "RTree", "RStarTree", "SequentialScan",
     "materialize_transformed_tree", "transformed_range_search",
     "transformed_nearest_neighbors", "transformed_join",

@@ -1,0 +1,84 @@
+"""Shared worker-pool plumbing for partition-parallel execution.
+
+The execution layer fans partitioned kernels (scan range/NN/join blocks,
+per-partition index probes) across a **thread** pool: the NumPy kernels in
+:mod:`repro.storage.columnar` release the GIL for the duration of each block
+operation, so threads scale on multi-core machines without the serialization
+cost and copy semantics of process pools — and, crucially for correctness,
+all workers read the *same* arrays, so answers cannot drift through
+serialization round-trips.
+
+Two deliberate properties:
+
+* ``parallel_map`` preserves **input order** in its output regardless of
+  completion order — every caller merges per-partition results
+  positionally, which is what makes parallel answers bit-identical to
+  serial ones;
+* pools are cached per worker count and shared process-wide.  Queries are
+  short; creating a pool per query would dominate small partitions.  The
+  cache is guarded by a lock so concurrent sessions can share it.
+
+``workers`` resolution is uniform everywhere (scan, indexes, cost model,
+:func:`repro.connect`): ``None`` and ``1`` mean serial, ``0`` means "all
+cores" (``os.cpu_count()``), any other positive integer is taken literally.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["resolve_workers", "parallel_map", "get_pool"]
+
+_pools: dict[int, ThreadPoolExecutor] = {}
+_pools_lock = threading.Lock()
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` knob to a concrete positive worker count.
+
+    ``None`` or ``1`` → 1 (serial, the default everywhere); ``0`` → all
+    available cores; otherwise the literal count.  Negative values are
+    rejected — silently clamping them would hide caller bugs.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def get_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared process-wide pool for ``workers`` threads (created once)."""
+    with _pools_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"repro-worker-{workers}")
+            _pools[workers] = pool
+        return pool
+
+
+def parallel_map(function: Callable[..., Any], tasks: Sequence[Any], *,
+                 workers: int) -> list[Any]:
+    """Apply ``function`` to every task, returning results in task order.
+
+    Each task is an argument tuple.  With one worker — or one task, where a
+    pool round-trip buys nothing — this degenerates to a plain loop on the
+    calling thread, so serial execution never pays pool overhead and the
+    parallel code path stays the *only* code path in partitioned callers.
+
+    Exceptions propagate to the caller exactly as in the serial loop (the
+    first failing task's exception, by task order).
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        return [function(*task) for task in tasks]
+    pool = get_pool(workers)
+    futures = [pool.submit(function, *task) for task in tasks]
+    return [future.result() for future in futures]

@@ -25,6 +25,7 @@ until the state token moves.
 from __future__ import annotations
 
 import sys
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
@@ -93,6 +94,12 @@ class LRUCache:
     columnar-scale answer lists is bounded in memory, not just in entry
     count.  A single value larger than the whole budget is not stored at
     all (it would only evict everything else to fail anyway).
+
+    All operations are **thread-safe**: partition-parallel execution shares
+    the plan and answer caches across worker threads, and an unsynchronized
+    ``OrderedDict`` corrupts its recency order (or loses evict bookkeeping)
+    under concurrent ``move_to_end``/``popitem``.  A single reentrant lock
+    guards every mutation; lookups of immutable cached answers stay cheap.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class LRUCache:
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._sizeof = sizeof if sizeof is not None else estimate_size
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._items: OrderedDict[Hashable, Any] = OrderedDict()
         self._sizes: dict[Hashable, int] = {}
         self._total_bytes = 0
@@ -121,14 +129,15 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value (refreshing its recency), or ``default``."""
-        try:
-            value = self._items[key]
-        except KeyError:
-            self.stats.misses += 1
-            return default
-        self._items.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._items[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._items.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store a value, evicting least recently used entries while the
@@ -140,25 +149,27 @@ class LRUCache:
             size = int(self._sizeof(value))
             if size > self.max_bytes:
                 return
-        if key in self._items:
-            self._items.move_to_end(key)
-            self._total_bytes -= self._sizes.pop(key, 0)
-        self._items[key] = value
-        if self.max_bytes is not None:
-            self._sizes[key] = size
-            self._total_bytes += size
-        while len(self._items) > self.capacity or (
-            self.max_bytes is not None and self._total_bytes > self.max_bytes
-        ):
-            evicted_key, _ = self._items.popitem(last=False)
-            self._total_bytes -= self._sizes.pop(evicted_key, 0)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                self._total_bytes -= self._sizes.pop(key, 0)
+            self._items[key] = value
+            if self.max_bytes is not None:
+                self._sizes[key] = size
+                self._total_bytes += size
+            while len(self._items) > self.capacity or (
+                self.max_bytes is not None and self._total_bytes > self.max_bytes
+            ):
+                evicted_key, _ = self._items.popitem(last=False)
+                self._total_bytes -= self._sizes.pop(evicted_key, 0)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._items.clear()
-        self._sizes.clear()
-        self._total_bytes = 0
+        with self._lock:
+            self._items.clear()
+            self._sizes.clear()
+            self._total_bytes = 0
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._items

@@ -28,23 +28,31 @@ The inputs come from :class:`~repro.core.stats.RelationStatistics`:
   frontier bound for the similarity engine's uniform-cost search.
 
 When a relation has never been sampled (or an index is of unknown kind) the
-model degrades to a configurable *default selectivity* — the deprecated
-``Planner(selectivity_crossover=...)`` knob feeds exactly this default — and
-flags the estimate ``can_estimate=False`` so the planner makes it lose cost
-ties instead of silently assuming the index is good.
+model degrades to a configurable *default selectivity* and flags the
+estimate ``can_estimate=False`` so the planner makes it lose cost ties
+instead of silently assuming the index is good.
+
+The model is **parallelism-aware**: when constructed with ``workers > 1``
+(the executor fans sequential scans across that many threads), scan-family
+estimates keep their counter fields as *totals* — the executor sums exact
+per-partition work, so "estimated vs actual" still compares like with like
+— but reprice ``total``, the planner's argmin key, as the parallel critical
+path: the cost of the largest partition plus a merge term for combining
+per-partition partial results.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from ...storage.pages import records_per_page
+from ..parallel import resolve_workers
 from ..stats import RelationStatistics
 
 __all__ = ["CostEstimate", "QueryCostModel", "CPU_WEIGHT",
-           "EARLY_ABANDON_WEIGHT"]
+           "EARLY_ABANDON_WEIGHT", "MERGE_WEIGHT"]
 
 #: Exchange rate: one *full* exact distance computation costs this many I/O
 #: accesses.  The evaluation charges distance computations well below a
@@ -59,6 +67,14 @@ CPU_WEIGHT = 0.25
 #: cheaper than a full computation.  This keeps the range-query cost model
 #: I/O-dominated, as in the evaluation's page-access figures.
 EARLY_ABANDON_WEIGHT = 0.02
+
+#: Exchange rate for combining per-partition partial results (k-way heap
+#: merge for nearest neighbours, concatenate-and-sort for ranges and joins):
+#: one merged element costs a float comparison or two — an order of
+#: magnitude below even an early-abandoned distance check.  The merge term
+#: keeps the parallel repricing honest: fanning a scan out is not free, and
+#: the modelled speedup flattens as the merge share grows.
+MERGE_WEIGHT = 0.002
 
 #: Hard caps for the similarity-engine frontier estimate (mirrors the
 #: executor's termination guarantees: ``max_steps_per_side`` cap of 12 and
@@ -75,7 +91,10 @@ class CostEstimate:
     fetches (the counter :attr:`QueryStatistics.io_total` measures);
     ``candidates`` — objects surviving the filter and needing exact
     postprocessing; ``distance_computations`` — exact distance evaluations;
-    ``total`` — the planner's argmin key (I/O plus weighted CPU);
+    ``total`` — the planner's argmin key (I/O plus weighted CPU; for a
+    plan fanned across ``workers > 1`` threads it is the parallel critical
+    path — the serial work divided over balanced partitions, plus
+    ``merge_cost`` for combining the partial results);
     ``can_estimate`` — whether real statistics backed the numbers (a
     defaulted estimate loses cost ties).
     """
@@ -87,13 +106,19 @@ class CostEstimate:
     can_estimate: bool = True
     cpu_weight: float = CPU_WEIGHT
     detail: str = ""
+    workers: int = 1
+    merge_cost: float = 0.0
 
     def render(self) -> str:
         """Compact human-readable form for ``explain()`` output."""
         qualifier = "" if self.can_estimate else " (assumed: no statistics)"
-        text = (f"{self.total:.1f} total = {self.io_accesses:.1f} I/O + "
-                f"{self.cpu_weight:g} x {self.distance_computations:.1f} "
-                f"distance computations{qualifier}")
+        work = (f"{self.io_accesses:.1f} I/O + {self.cpu_weight:g} x "
+                f"{self.distance_computations:.1f} distance computations")
+        if self.workers > 1:
+            text = (f"{self.total:.1f} total = ({work}) / {self.workers} "
+                    f"workers + {self.merge_cost:.1f} merge{qualifier}")
+        else:
+            text = f"{self.total:.1f} total = {work}{qualifier}"
         if self.detail:
             text += f" [{self.detail}]"
         return text
@@ -116,12 +141,33 @@ class QueryCostModel:
     ----------
     default_selectivity:
         Answer/candidate fraction assumed when no histogram is available.
-        Seeded by the deprecated ``Planner(selectivity_crossover=...)``
-        argument for backward compatibility.
+    workers:
+        Worker threads the executor fans sequential scans across (``None``
+        and ``1`` mean serial, ``0`` means one per CPU core).  Scan-family
+        estimates reprice their ``total`` as the parallel critical path;
+        index estimates are left serial — per-record probe fan-out only
+        applies to the partitioned index facades, whose presence the model
+        cannot see from relation statistics alone.
     """
 
-    def __init__(self, default_selectivity: float = 0.33) -> None:
+    def __init__(self, default_selectivity: float = 0.33, *,
+                 workers: int | None = None) -> None:
         self.default_selectivity = float(default_selectivity)
+        self.workers = resolve_workers(workers)
+
+    def _fan_out(self, estimate: CostEstimate,
+                 merge_items: float) -> CostEstimate:
+        """Reprice a scan-family estimate for partition-parallel execution.
+
+        Counter fields stay totals (the executor sums per-partition exact
+        work); only ``total`` becomes max-over-partitions plus the merge
+        term for ``merge_items`` combined partial results.
+        """
+        if self.workers <= 1:
+            return estimate
+        merge = MERGE_WEIGHT * max(0.0, merge_items)
+        return replace(estimate, workers=self.workers, merge_cost=merge,
+                       total=estimate.total / self.workers + merge)
 
     # ------------------------------------------------------------------
     # fraction helpers (fall back to the default selectivity)
@@ -166,10 +212,12 @@ class QueryCostModel:
     def scan_range(self, stats: RelationStatistics | None,
                    cardinality: int, epsilon: float) -> CostEstimate:
         pages = self._scan_pages(stats, cardinality)
-        return _estimate(pages, cardinality, cardinality,
+        base = _estimate(pages, cardinality, cardinality,
                          cpu_weight=EARLY_ABANDON_WEIGHT,
                          detail=f"{pages} sequential pages, "
                                 f"{cardinality} early-abandoned distances")
+        answer_fraction, _ = self._answer_fraction(stats, epsilon)
+        return self._fan_out(base, cardinality * answer_fraction)
 
     def index_range(self, stats: RelationStatistics | None,
                     cardinality: int, epsilon: float) -> CostEstimate:
@@ -201,8 +249,10 @@ class QueryCostModel:
     def scan_nearest(self, stats: RelationStatistics | None,
                      cardinality: int, k: int) -> CostEstimate:
         pages = self._scan_pages(stats, cardinality)
-        return _estimate(pages, cardinality, cardinality,
+        base = _estimate(pages, cardinality, cardinality,
                          detail=f"{pages} sequential pages, full distances")
+        # Each worker contributes a top-k list to the k-way heap merge.
+        return self._fan_out(base, float(self.workers * k))
 
     def index_nearest(self, stats: RelationStatistics | None,
                       cardinality: int, k: int) -> CostEstimate:
@@ -233,10 +283,12 @@ class QueryCostModel:
         # beats per-record index probes until the quadratic term dominates.
         pages = self._scan_pages(stats, cardinality)
         comparisons = cardinality * (cardinality - 1) / 2.0
-        return _estimate(pages, comparisons, comparisons,
+        base = _estimate(pages, comparisons, comparisons,
                          cpu_weight=EARLY_ABANDON_WEIGHT,
                          detail=f"{pages} pages + {comparisons:.0f} "
                                 "early-abandoned pair distances")
+        pair_fraction, _ = self._pair_fraction(stats, epsilon)
+        return self._fan_out(base, comparisons * pair_fraction)
 
     def index_join(self, stats: RelationStatistics | None,
                    cardinality: int, epsilon: float) -> CostEstimate:

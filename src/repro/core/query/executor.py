@@ -38,6 +38,7 @@ from ...index.scan import SequentialScan
 from ...timeseries.transforms import SpectralTransformation
 from ..database import Database, DistanceProvider, Relation
 from ..errors import QueryPlanningError
+from ..parallel import resolve_workers
 from ..similarity import SimilarityEngine
 from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
 from .cache import LRUCache
@@ -95,15 +96,23 @@ class QueryEngine:
         few huge answers cannot pin the memory an entry-count bound alone
         would allow.  ``None`` (the default) keeps the historical
         entry-count-only behaviour.
+    workers:
+        Worker threads sequential scans fan their row partitions across
+        (``None``/``1`` serial, ``0`` one per CPU core).  Answers are
+        bit-identical to serial execution — the NumPy distance kernels
+        release the GIL, so partitions genuinely overlap — and the planner
+        prices scan plans at the parallel critical path.
     """
 
     def __init__(self, database: Database,
                  transformations: Mapping[str, SpectralTransformation] | None = None,
                  *, plan_cache_size: int = 256,
                  answer_cache_size: int = 1024,
-                 answer_cache_bytes: int | None = None) -> None:
+                 answer_cache_bytes: int | None = None,
+                 workers: int | None = None) -> None:
         self.database = database
-        self.planner = Planner(database)
+        self.workers = resolve_workers(workers)
+        self.planner = Planner(database, workers=self.workers)
         self.plan_cache = LRUCache(plan_cache_size)
         self.answer_cache = LRUCache(answer_cache_size,
                                      max_bytes=answer_cache_bytes)
@@ -586,7 +595,8 @@ class QueryEngine:
         # The scan is a view over the relation's shared columnar store (the
         # same arrays a registered k-index and the statistics sampler read);
         # constructing it extracts nothing.
-        scan = SequentialScan(store=self.database.columnar_store(relation_name))
+        scan = SequentialScan(store=self.database.columnar_store(relation_name),
+                              workers=self.workers)
         self._scans[relation_name] = (relation, relation.version, scan)
         return scan
 

@@ -45,11 +45,11 @@ statistics of an execution) as a short multi-line report.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, replace
 
 from ..database import Database
 from ..errors import QueryPlanningError
+from ..parallel import resolve_workers
 from .ast import AllPairsQuery, NearestNeighborQuery, Query, RangeQuery, SimilarityQuery
 from .costmodel import CostEstimate, QueryCostModel
 
@@ -182,31 +182,18 @@ class Planner:
     database:
         The catalog (relations, registered indexes, distance providers and
         the per-relation statistics the cost model reads).
-    selectivity_crossover:
-        .. deprecated::
-            The planner no longer hard-codes a crossover; it estimates costs
-            from relation statistics.  The argument is still accepted and
-            seeds the cost model's *default selectivity* (used only when a
-            relation has no usable statistics), but passing it emits a
-            :class:`DeprecationWarning`.
+    workers:
+        Worker threads the executor will fan sequential scans across
+        (``None``/``1`` serial, ``0`` one per CPU core).  The cost model
+        prices scan plans at the parallel critical path accordingly, so the
+        index/scan crossover shifts with the available parallelism.
     """
 
-    def __init__(self, database: Database,
-                 selectivity_crossover: float | None = None) -> None:
+    def __init__(self, database: Database, *,
+                 workers: int | None = None) -> None:
         self.database = database
-        if selectivity_crossover is not None:
-            warnings.warn(
-                "Planner(selectivity_crossover=...) is deprecated: the planner "
-                "now estimates costs from relation statistics (see "
-                "Database.analyze). The value only seeds the cost model's "
-                "default selectivity for relations without statistics.",
-                DeprecationWarning, stacklevel=2)
-        #: Deprecated alias, kept for introspection; feeds the cost model's
-        #: default selectivity.
-        self.selectivity_crossover = float(
-            selectivity_crossover if selectivity_crossover is not None else 0.33)
-        self.cost_model = QueryCostModel(
-            default_selectivity=self.selectivity_crossover)
+        self.workers = resolve_workers(workers)
+        self.cost_model = QueryCostModel(workers=self.workers)
         #: How many times :meth:`plan` ran.  Prepared statements promise
         #: "re-plan at most once per (AST, catalog state)"; tests and
         #: benchmarks read this counter to hold them to it.

@@ -301,20 +301,25 @@ class Session:
     answer_cache_bytes:
         Optional byte budget for the answer cache (see
         :class:`QueryEngine`); ``None`` bounds it by entry count only.
+    workers:
+        Worker threads for partition-parallel scans (see
+        :class:`QueryEngine`); ``None``/``1`` serial, ``0`` one per core.
     """
 
     def __init__(self, database: Database | None = None, *,
                  transformations: Mapping[str, SpectralTransformation] | None = None,
                  plan_cache_size: int = 256,
                  answer_cache_size: int = 1024,
-                 answer_cache_bytes: int | None = None) -> None:
+                 answer_cache_bytes: int | None = None,
+                 workers: int | None = None) -> None:
         self.database = database if database is not None else Database()
         #: The underlying engine — the compat escape hatch; everything the
         #: session runs goes through it (and through its caches).
         self.engine = QueryEngine(self.database, transformations,
                                   plan_cache_size=plan_cache_size,
                                   answer_cache_size=answer_cache_size,
-                                  answer_cache_bytes=answer_cache_bytes)
+                                  answer_cache_bytes=answer_cache_bytes,
+                                  workers=workers)
 
     # -- catalog -----------------------------------------------------------
     def relation(self, name: str,
@@ -441,15 +446,19 @@ def connect(database: Database | None = None, *,
             transformations: Mapping[str, SpectralTransformation] | None = None,
             plan_cache_size: int = 256,
             answer_cache_size: int = 1024,
-            answer_cache_bytes: int | None = None) -> Session:
+            answer_cache_bytes: int | None = None,
+            workers: int | None = None) -> Session:
     """Open a :class:`Session` — the recommended way in.
 
     ``repro.connect()`` starts from an empty catalog;
     ``repro.connect(existing_database)`` wraps one built elsewhere (the
     migration path for code that already constructs ``Database`` /
-    ``QueryEngine`` by hand).
+    ``QueryEngine`` by hand).  ``workers`` turns on partition-parallel scan
+    execution (``0`` = one worker per CPU core); answers are bit-identical
+    to the serial default.
     """
     return Session(database, transformations=transformations,
                    plan_cache_size=plan_cache_size,
                    answer_cache_size=answer_cache_size,
-                   answer_cache_bytes=answer_cache_bytes)
+                   answer_cache_bytes=answer_cache_bytes,
+                   workers=workers)

@@ -345,6 +345,23 @@ class KIndex:
                            float(distances[i])) for i in order]
 
     # ------------------------------------------------------------------
+    # traversal hooks (overridden by the partitioned facade)
+    # ------------------------------------------------------------------
+    def _range_candidates(self, window: Rect,
+                          real_map: RealLinearTransformation | None) -> list[int]:
+        """Candidate record ids of one transformed window search."""
+        return transformed_range_search(self.tree, window, real_map,
+                                        overlap=self._overlap_predicate())
+
+    def _nearest_candidate_iter(self, query_point: FeatureVector,
+                                real_map: RealLinearTransformation | None,
+                                distance_to_rect):
+        """``(filter lower bound, record id)`` pairs in ascending bound order."""
+        return transformed_nearest_neighbors_iter(
+            self.tree, query_point.values, transformation=real_map,
+            distance_to_rect=distance_to_rect)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def range_query(self, query: TimeSeries | FeatureVector, epsilon: float, *,
@@ -390,8 +407,7 @@ class KIndex:
 
         low, high = self.space.search_rectangle(query_point, epsilon)
         window = Rect(low, high)
-        candidates = transformed_range_search(self.tree, window, real_map,
-                                              overlap=self._overlap_predicate())
+        candidates = self._range_candidates(window, real_map)
         result = RangeQueryResult()
         result.statistics.candidates = len(candidates)
         if exact:
@@ -576,9 +592,8 @@ class KIndex:
                 return space.mindist_to_rectangle(FeatureVector(point_values),
                                                   rect.low, rect.high)
 
-        for lower_bound, record_id in transformed_nearest_neighbors_iter(
-                self.tree, query_point.values, transformation=real_map,
-                distance_to_rect=distance_to_rect):
+        for lower_bound, record_id in self._nearest_candidate_iter(
+                query_point, real_map, distance_to_rect):
             if len(best) >= k and lower_bound > best[k - 1][1]:
                 break
             pulled += 1

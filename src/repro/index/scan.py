@@ -19,15 +19,37 @@ re-scored exactly, so the two flavours return identical answers and differ
 only in work.  Transformation semantics match the
 :class:`~repro.index.kindex.KIndex` (the test suite asserts the results are
 identical).
+
+With ``workers > 1`` every query fans across **fixed-size row partitions**
+(:mod:`repro.storage.partition`) on a shared thread pool — the kernels
+release the GIL, so partitions execute on separate cores.  Answers stay
+bit-identical to serial execution because the kernels are row-independent
+and the merge steps reproduce the serial orders exactly:
+
+* range — per-partition survivors are concatenated in partition order
+  (= global row order) and the final stable sort sees the same distances
+  in the same sequence as the serial path;
+* NN — per-partition stable top-``k`` lists, already ordered by
+  ``(distance, global id)``, are combined with a k-way heap merge, which
+  is precisely the serial stable argsort's order;
+* join — contiguous anchor blocks each run the serial per-anchor kernel
+  body against the anchor's suffix, and blocks concatenate in anchor
+  order.
+
+Work counters are unaffected: a scan's counted work (candidates,
+postprocessed pairs, data pages) is a function of the relation's size, not
+of the partitioning.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Iterable
 
 import numpy as np
 
+from ..core.parallel import parallel_map, resolve_workers
 from ..storage.columnar import (
     ColumnarRecordStore,
     early_abandon_candidates,
@@ -35,6 +57,7 @@ from ..storage.columnar import (
     transform_full_record,
 )
 from ..storage.pages import PageStore, records_per_page as page_capacity
+from ..storage.partition import DEFAULT_PARTITION_ROWS, partition_spans
 from ..timeseries.features import SeriesFeatureExtractor
 from ..timeseries.series import TimeSeries
 from ..timeseries.transforms import SpectralTransformation
@@ -67,14 +90,26 @@ class SequentialScan:
         shares one store per relation between the scan fallback, the
         statistics sampler and (through the database) the index.  Without
         one the scan owns a fresh store filled by :meth:`insert`/:meth:`extend`.
+    workers:
+        Worker threads for partition-parallel execution (``None``/1 serial,
+        0 = all cores).  Answers are bit-identical at any worker count.
+    partition_rows:
+        Rows per partition for the parallel fan-out (default
+        :data:`~repro.storage.partition.DEFAULT_PARTITION_ROWS`).
     """
 
     def __init__(self, extractor: SeriesFeatureExtractor | None = None, *,
                  page_store: PageStore | None = None,
                  records_per_page: int | None = None,
-                 store: ColumnarRecordStore | None = None) -> None:
+                 store: ColumnarRecordStore | None = None,
+                 workers: int | None = None,
+                 partition_rows: int | None = None) -> None:
         self.extractor = extractor if extractor is not None else SeriesFeatureExtractor()
         self.store = store if store is not None else ColumnarRecordStore()
+        self.workers = resolve_workers(workers)
+        self.partition_rows = (max(1, int(partition_rows))
+                               if partition_rows is not None
+                               else DEFAULT_PARTITION_ROWS)
         self._page_store = page_store
         self._records_per_page = (max(1, int(records_per_page))
                                   if records_per_page is not None else None)
@@ -140,6 +175,37 @@ class SequentialScan:
                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         return self.store.transformed_arrays(transformation)
 
+    def _spans(self, count: int) -> list[tuple[int, int]]:
+        """Row spans for the range/NN fan-out; one covering span when serial
+        (the partitioned code path *is* the serial code path at one span).
+
+        The per-row kernel work is uniform, so spans are balanced to the
+        worker count — at most one span per worker, with ``partition_rows``
+        as the minimum span so a tiny relation is not over-fanned.  A busier
+        split would cap the speedup below the worker count: five
+        partition-sized spans over four workers leave one worker doing two.
+        Answers are span-size-independent (the kernels are row-independent
+        and the merges preserve row order), so balancing is free.
+        """
+        if self.workers <= 1:
+            return [(0, count)] if count else []
+        block = max(self.partition_rows, -(-count // self.workers))
+        return partition_spans(count, block)
+
+    def _join_spans(self, count: int) -> list[tuple[int, int]]:
+        """Anchor blocks for the parallel self-join.
+
+        Join work per anchor shrinks with its position (anchors sweep only
+        their suffix), so fixed-size partitions leave the first worker with
+        most of the quadratic work.  Finer blocks — several per worker —
+        let the pool queue balance the skew: heavy early blocks are claimed
+        first and light late blocks fill the stragglers.
+        """
+        if self.workers <= 1:
+            return [(0, count)] if count else []
+        block = max(1, min(self.partition_rows, -(-count // (self.workers * 8))))
+        return partition_spans(count, block)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -159,18 +225,31 @@ class SequentialScan:
             coefficients, means, stds = self._data_arrays(transformation)
             lengths = self.store.lengths
             include_stats = self.extractor.include_stats
-            if early_abandon:
-                survivors = early_abandon_candidates(
-                    coefficients, lengths, means, stds, *query_record,
-                    include_stats, epsilon)
-            else:
-                survivors = np.arange(count, dtype=np.intp)
-            distances = exact_distances(coefficients, lengths, means, stds,
-                                        *query_record, include_stats,
-                                        row_ids=survivors)
-            keep = np.nonzero(distances <= epsilon)[0]
-            order = keep[np.argsort(distances[keep], kind="stable")]
-            result.answers = [(self.store.series(int(survivors[i])),
+
+            def scan_span(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+                """Kept (global row ids, distances) of one partition, in row
+                order — the serial computation restricted to its rows."""
+                rows = slice(start, stop)
+                if early_abandon:
+                    survivors = early_abandon_candidates(
+                        coefficients[rows], lengths[rows], means[rows],
+                        stds[rows], *query_record, include_stats, epsilon)
+                else:
+                    survivors = np.arange(stop - start, dtype=np.intp)
+                distances = exact_distances(
+                    coefficients[rows], lengths[rows], means[rows], stds[rows],
+                    *query_record, include_stats, row_ids=survivors)
+                keep = np.nonzero(distances <= epsilon)[0]
+                return survivors[keep] + start, distances[keep]
+
+            # Partitions concatenate in partition order = global row order,
+            # so the stable sort below sees exactly the serial sequence.
+            parts = parallel_map(scan_span, self._spans(count),
+                                 workers=self.workers)
+            ids = np.concatenate([part[0] for part in parts])
+            distances = np.concatenate([part[1] for part in parts])
+            order = np.argsort(distances, kind="stable")
+            result.answers = [(self.store.series(int(ids[i])),
                                float(distances[i])) for i in order]
         result.statistics.postprocessed = count
         result.statistics.candidates = count
@@ -189,13 +268,32 @@ class SequentialScan:
             raise ValueError("k must be positive")
         query_record = self._query_record(query, transformation, transform_query)
         self._charge_scan_io()
-        if len(self.store) == 0:
+        count = len(self.store)
+        if count == 0:
             return []
         coefficients, means, stds = self._data_arrays(transformation)
-        distances = exact_distances(coefficients, self.store.lengths, means, stds,
-                                    *query_record, self.extractor.include_stats)
-        order = np.argsort(distances, kind="stable")[:k]
-        return [(self.store.series(int(i)), float(distances[i])) for i in order]
+        lengths = self.store.lengths
+        include_stats = self.extractor.include_stats
+
+        def nearest_in_span(start: int, stop: int) -> list[tuple[float, int]]:
+            """A partition's stable top-``k`` as (distance, global id) pairs
+            in ascending order — every global answer is in its partition's
+            top-``k``, so merging these lists loses nothing."""
+            rows = slice(start, stop)
+            distances = exact_distances(
+                coefficients[rows], lengths[rows], means[rows], stds[rows],
+                *query_record, include_stats)
+            order = np.argsort(distances, kind="stable")[:k]
+            return [(float(distances[i]), start + int(i)) for i in order]
+
+        # Each partition list is ordered by (distance, global id) — stable
+        # argsort breaks ties by ascending local row — so the k-way heap
+        # merge reproduces the serial stable argsort's order exactly.
+        parts = parallel_map(nearest_in_span, self._spans(count),
+                             workers=self.workers)
+        merged = heapq.merge(*parts)
+        return [(self.store.series(row_id), distance)
+                for distance, row_id in list(merged)[:k]]
 
     def all_pairs(self, epsilon: float, *,
                   transformation: SpectralTransformation | None = None,
@@ -219,25 +317,38 @@ class SequentialScan:
             coefficients, means, stds = self._data_arrays(transformation)
             lengths = self.store.lengths
             include_stats = self.extractor.include_stats
-            for anchor in range(count - 1):
-                anchor_record = (coefficients[anchor, :int(lengths[anchor])],
-                                 float(means[anchor]), float(stds[anchor]))
-                suffix = slice(anchor + 1, count)
-                if early_abandon:
-                    survivors = early_abandon_candidates(
+
+            def join_block(first: int, last: int) -> list[tuple[int, int, float]]:
+                """Qualifying (anchor, other, distance) triples for a
+                contiguous anchor block — the serial per-anchor body,
+                each anchor swept against its *global* suffix."""
+                found: list[tuple[int, int, float]] = []
+                for anchor in range(first, min(last, count - 1)):
+                    anchor_record = (coefficients[anchor, :int(lengths[anchor])],
+                                     float(means[anchor]), float(stds[anchor]))
+                    suffix = slice(anchor + 1, count)
+                    if early_abandon:
+                        survivors = early_abandon_candidates(
+                            coefficients[suffix], lengths[suffix], means[suffix],
+                            stds[suffix], *anchor_record, include_stats, epsilon)
+                    else:
+                        survivors = np.arange(count - anchor - 1, dtype=np.intp)
+                    distances = exact_distances(
                         coefficients[suffix], lengths[suffix], means[suffix],
-                        stds[suffix], *anchor_record, include_stats, epsilon)
-                else:
-                    survivors = np.arange(count - anchor - 1, dtype=np.intp)
-                distances = exact_distances(
-                    coefficients[suffix], lengths[suffix], means[suffix],
-                    stds[suffix], *anchor_record, include_stats,
-                    row_ids=survivors)
-                keep = np.nonzero(distances <= epsilon)[0]
-                anchor_series = self.store.series(anchor)
-                for i in keep.tolist():
-                    other = self.store.series(anchor + 1 + int(survivors[i]))
-                    pairs.append((anchor_series, other, float(distances[i])))
+                        stds[suffix], *anchor_record, include_stats,
+                        row_ids=survivors)
+                    keep = np.nonzero(distances <= epsilon)[0]
+                    for i in keep.tolist():
+                        found.append((anchor, anchor + 1 + int(survivors[i]),
+                                      float(distances[i])))
+                return found
+
+            # Anchor blocks concatenate in anchor order, so the pair list is
+            # the serial one verbatim.
+            blocks = parallel_map(join_block, self._join_spans(count),
+                                  workers=self.workers)
+            pairs = [(self.store.series(anchor), self.store.series(other), distance)
+                     for block in blocks for anchor, other, distance in block]
         stats.postprocessed = count * (count - 1) // 2
         stats.candidates = stats.postprocessed
         stats.node_accesses = self.data_pages

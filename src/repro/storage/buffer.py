@@ -9,6 +9,7 @@ reports as "disk accesses".
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -52,6 +53,11 @@ class BufferStatistics:
 class BufferPool:
     """A fixed-capacity LRU cache of page payloads.
 
+    All operations are thread-safe: partitioned index probes share one pool
+    across worker threads, and LRU bookkeeping (``move_to_end`` racing
+    ``popitem``) corrupts silently without a lock.  The lock is reentrant so
+    ``read``/``write`` can call ``_insert`` while holding it.
+
     Parameters
     ----------
     store:
@@ -67,38 +73,44 @@ class BufferPool:
         self.store = store
         self.capacity = int(capacity)
         self.stats = BufferStatistics()
+        self._lock = threading.RLock()
         self._frames: OrderedDict[int, Any] = OrderedDict()
 
     def read(self, page_id: int) -> Any:
         """Fetch a page payload through the cache."""
-        if page_id in self._frames:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.stats.misses += 1
-        payload = self.store.read(page_id)
-        self._insert(page_id, payload)
-        return payload
+        with self._lock:
+            if page_id in self._frames:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return self._frames[page_id]
+            self.stats.misses += 1
+            payload = self.store.read(page_id)
+            self._insert(page_id, payload)
+            return payload
 
     def write(self, page_id: int, payload: Any) -> None:
         """Write through to the store and refresh the cached copy."""
-        self.store.write(page_id, payload)
-        self._insert(page_id, payload)
+        with self._lock:
+            self.store.write(page_id, payload)
+            self._insert(page_id, payload)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache (e.g. after it was freed)."""
-        self._frames.pop(page_id, None)
+        with self._lock:
+            self._frames.pop(page_id, None)
 
     def clear(self) -> None:
         """Empty the cache (counters are preserved)."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     def _insert(self, page_id: int, payload: Any) -> None:
-        self._frames[page_id] = payload
-        self._frames.move_to_end(page_id)
-        while len(self._frames) > self.capacity:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._frames[page_id] = payload
+            self._frames.move_to_end(page_id)
+            while len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
         return len(self._frames)

@@ -30,7 +30,8 @@ EXPECTED_ALL = [
     "IndexAdvisor", "IndexRecommendation",
     "KIndex", "LinearTransformation", "MaxCostModel", "MetricIndex",
     "MovingAverageTransform", "NearestNeighborQuery", "NearestNeighborResult",
-    "PageStore", "Param", "Pattern", "PatternError", "Planner", "PolarSpace",
+    "PageStore", "Param", "PartitionedIndex", "PartitionedMetricIndex",
+    "Pattern", "PatternError", "Planner", "PolarSpace",
     "PredicatePattern", "PreparedQuery", "Q", "QueryBuildError", "QueryBuilder",
     "QueryCostModel", "QueryEngine", "QueryOutcome", "QueryPlanningError",
     "QuerySyntaxError",
@@ -80,7 +81,8 @@ class TestFacadeSignatures:
             "(database: 'Database | None' = None, *, "
             "transformations: 'Mapping[str, SpectralTransformation] | None' = None, "
             "plan_cache_size: 'int' = 256, answer_cache_size: 'int' = 1024, "
-            "answer_cache_bytes: 'int | None' = None) "
+            "answer_cache_bytes: 'int | None' = None, "
+            "workers: 'int | None' = None) "
             "-> 'Session'")
 
     def test_session_methods(self):

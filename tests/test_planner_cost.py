@@ -9,8 +9,9 @@ Covers the PR-4 planner rewrite:
 * ``analyze`` bumps the state token and invalidates the plan/answer caches,
   while lazy statistics collection does not;
 * indexes of unknown kind lose cost ties to the scan, loudly;
-* ``Planner(selectivity_crossover=...)`` is deprecated but still seeds the
-  cost model's default selectivity;
+* the cost model's workers dimension reprices scan plans at the parallel
+  critical path (counters stay totals), shifting the index/scan crossover,
+  and the removed ``Planner(selectivity_crossover=...)`` path stays removed;
 * the bounded-EWMA feedback loop folds observed selectivities back in.
 """
 
@@ -253,22 +254,85 @@ class TestUnknownIndexKind:
             assert type(plan).__name__.startswith("Scan")
 
 
-class TestDeprecatedCrossover:
-    def test_warns_and_seeds_the_default_selectivity(self):
-        database = Database()
-        database.create_relation("r", random_walk_collection(5, LENGTH, seed=1))
-        with pytest.warns(DeprecationWarning, match="selectivity_crossover"):
-            planner = Planner(database, selectivity_crossover=0.5)
-        assert planner.cost_model.default_selectivity == 0.5
-        assert planner.selectivity_crossover == 0.5
+class TestWorkersDimension:
+    """The parallelism-aware repricing of scan-family plans."""
 
-    def test_default_construction_does_not_warn(self):
-        import warnings
+    def _stats(self) -> RelationStatistics:
+        return RelationStatistics(
+            relation="r", cardinality=1200, kind="feature", record_bytes=2048,
+            answer_histogram=DistanceHistogram([float(d) for d in range(1, 101)]),
+            filter_histogram=DistanceHistogram([float(d) for d in range(1, 101)]))
 
+    def test_selectivity_crossover_path_is_gone(self):
         database = Database()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            Planner(database)
+        with pytest.raises(TypeError):
+            Planner(database, selectivity_crossover=0.5)
+        planner = Planner(database)
+        assert not hasattr(planner, "selectivity_crossover")
+        assert planner.workers == 1
+
+    def test_scan_totals_shrink_but_counters_stay_totals(self):
+        from repro.core.query.costmodel import QueryCostModel
+
+        serial = QueryCostModel()
+        parallel = QueryCostModel(workers=4)
+        stats = self._stats()
+        for method, arg in (("scan_range", 10.0), ("scan_nearest", 5),
+                            ("scan_join", 10.0)):
+            one = getattr(serial, method)(stats, 1200, arg)
+            four = getattr(parallel, method)(stats, 1200, arg)
+            assert four.total < one.total
+            assert four.total >= one.total / 4  # merge term is not free
+            assert four.workers == 4 and one.workers == 1
+            # Counter fields predict the executor's *summed* exact work.
+            assert four.io_accesses == one.io_accesses
+            assert four.candidates == one.candidates
+            assert four.distance_computations == one.distance_computations
+
+    def test_index_estimates_are_not_repriced(self):
+        from repro.core.query.costmodel import QueryCostModel
+
+        stats = self._stats()
+        serial = QueryCostModel().index_range(stats, 1200, 10.0)
+        parallel = QueryCostModel(workers=4).index_range(stats, 1200, 10.0)
+        assert parallel.total == serial.total
+        assert parallel.workers == 1
+
+    def test_workers_surface_in_explain(self):
+        data = random_walk_collection(40, LENGTH, seed=9)
+        database = Database()
+        database.create_relation("walks", data)
+        plan = Planner(database, workers=4).plan(
+            RangeQuery(relation="walks", epsilon=2.0))
+        assert isinstance(plan, ScanRangePlan)
+        assert "/ 4 workers" in explain(plan)
+        assert "merge" in explain(plan)
+
+    def test_parallelism_shifts_the_join_crossover_toward_the_scan(self):
+        # Same near-duplicate join regime as the crossover test above: a
+        # cardinality where the serial model prefers index probes over the
+        # quadratic scan must flip to the scan once four workers split the
+        # quadratic term.
+        from repro.core.query.costmodel import QueryCostModel
+
+        stats = RelationStatistics(
+            relation="r", cardinality=800, kind="feature-indexed",
+            record_bytes=512,
+            tree_summary={"height": 4.0, "leaf_count": 100.0,
+                          "internal_count": 15.0, "node_count": 115.0,
+                          "avg_leaf_fanout": 8.0, "avg_internal_fanout": 8.0,
+                          "avg_leaf_radius": 0.5, "avg_internal_radius": 2.0},
+            answer_histogram=DistanceHistogram([float(d) for d in
+                                                range(10, 110)]),
+            filter_histogram=DistanceHistogram([float(d) for d in
+                                                range(10, 110)]))
+        serial = QueryCostModel()
+        parallel = QueryCostModel(workers=4)
+        epsilon = 5.0  # below the sampled minimum: probes fetch ~nothing
+        index_cost = serial.index_join(stats, 800, epsilon).total
+        assert parallel.index_join(stats, 800, epsilon).total == index_cost
+        assert serial.scan_join(stats, 800, epsilon).total > index_cost
+        assert parallel.scan_join(stats, 800, epsilon).total < index_cost
 
 
 class TestFeedback:
