@@ -111,6 +111,12 @@ from .index.transformed import (
 )
 from .storage.buffer import BufferPool
 from .storage.columnar import ColumnarRecordStore
+from .storage.durable import (
+    ColumnSegment,
+    DurableDatabase,
+    SegmentPageStore,
+    WriteAheadLog,
+)
 from .storage.pages import PageStore
 from .strings.distance import transformation_edit_distance, weighted_edit_distance
 from .strings.provider import edit_distance_provider
@@ -173,6 +179,7 @@ __all__ = [
     "materialize_transformed_tree", "transformed_range_search",
     "transformed_nearest_neighbors", "transformed_join",
     "PageStore", "BufferPool", "ColumnarRecordStore",
+    "ColumnSegment", "DurableDatabase", "SegmentPageStore", "WriteAheadLog",
     "StringObject", "weighted_edit_distance", "transformation_edit_distance",
     "edit_distance_provider",
     "dft", "inverse_dft", "dtw_distance", "normalized_euclidean",

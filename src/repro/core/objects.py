@@ -143,6 +143,16 @@ class ObjectIdAllocator:
         """Return the next unused identifier."""
         return next(self._counter)
 
+    def advance_past(self, object_id: int) -> None:
+        """Ensure future ids are strictly greater than ``object_id``.
+
+        Forward-only (a smaller watermark never rewinds the counter).
+        Durable recovery calls this with the highest persisted id, so
+        objects created after reopen cannot collide with recovered rows.
+        """
+        current = next(self._counter)
+        self._counter = itertools.count(max(current, int(object_id) + 1))
+
 
 _DEFAULT_ALLOCATOR = ObjectIdAllocator()
 

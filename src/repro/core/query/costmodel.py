@@ -82,6 +82,16 @@ MERGE_WEIGHT = 0.002
 _ENGINE_STEP_CAP = 12
 _ENGINE_FRONTIER_CAP = 4096.0
 
+#: Smoothing factor for the observed buffer-pool miss fraction: recent
+#: scans dominate, but one anomalous pass (a cold pool after a checkpoint,
+#: say) cannot swing the estimate to an extreme on its own.
+BUFFER_EWMA_ALPHA = 0.3
+
+#: Floor for the smoothed miss fraction.  A fully-resident relation would
+#: otherwise drive scan I/O estimates to zero and the planner would never
+#: reconsider the index even after the pool is evicted.
+MIN_BUFFER_MISS_RATE = 0.02
+
 
 @dataclass(frozen=True)
 class CostEstimate:
@@ -154,6 +164,45 @@ class QueryCostModel:
                  workers: int | None = None) -> None:
         self.default_selectivity = float(default_selectivity)
         self.workers = resolve_workers(workers)
+        # Observed buffer-pool behaviour of executed scans (durable storage
+        # routes real page reads through a pool).  Until the first
+        # observation every scanned page is priced as a device read, which
+        # is exactly the historical behaviour.
+        self._buffer_miss_rate = 1.0
+        self._buffer_observations = 0
+
+    @property
+    def buffer_miss_rate(self) -> float:
+        """Smoothed fraction of scanned pages expected to miss the buffer
+        pool (1.0 until a scan has actually been observed)."""
+        return self._buffer_miss_rate
+
+    def observe_buffer(self, hits: int, misses: int) -> None:
+        """Fold one executed scan's buffer-pool counters into the model.
+
+        The executor calls this after every scan-family query that ran
+        through a buffer pool; subsequent scan estimates price only the
+        expected *device* reads, so a hot pool shifts the index/scan
+        crossover toward the scan.
+        """
+        probes = int(hits) + int(misses)
+        if probes <= 0:
+            return
+        observed = max(MIN_BUFFER_MISS_RATE, min(1.0, int(misses) / probes))
+        if self._buffer_observations == 0:
+            self._buffer_miss_rate = observed
+        else:
+            self._buffer_miss_rate += BUFFER_EWMA_ALPHA * (
+                observed - self._buffer_miss_rate)
+        self._buffer_observations += 1
+
+    def _scan_io(self, pages: int) -> float:
+        """Expected device reads of one sequential pass: the page count
+        verbatim until a buffer pool has been observed, the miss-scaled
+        count afterwards."""
+        if self._buffer_observations == 0:
+            return float(pages)
+        return pages * self._buffer_miss_rate
 
     def _fan_out(self, estimate: CostEstimate,
                  merge_items: float) -> CostEstimate:
@@ -212,7 +261,7 @@ class QueryCostModel:
     def scan_range(self, stats: RelationStatistics | None,
                    cardinality: int, epsilon: float) -> CostEstimate:
         pages = self._scan_pages(stats, cardinality)
-        base = _estimate(pages, cardinality, cardinality,
+        base = _estimate(self._scan_io(pages), cardinality, cardinality,
                          cpu_weight=EARLY_ABANDON_WEIGHT,
                          detail=f"{pages} sequential pages, "
                                 f"{cardinality} early-abandoned distances")
@@ -249,7 +298,7 @@ class QueryCostModel:
     def scan_nearest(self, stats: RelationStatistics | None,
                      cardinality: int, k: int) -> CostEstimate:
         pages = self._scan_pages(stats, cardinality)
-        base = _estimate(pages, cardinality, cardinality,
+        base = _estimate(self._scan_io(pages), cardinality, cardinality,
                          detail=f"{pages} sequential pages, full distances")
         # Each worker contributes a top-k list to the k-way heap merge.
         return self._fan_out(base, float(self.workers * k))
@@ -283,7 +332,7 @@ class QueryCostModel:
         # beats per-record index probes until the quadratic term dominates.
         pages = self._scan_pages(stats, cardinality)
         comparisons = cardinality * (cardinality - 1) / 2.0
-        base = _estimate(pages, comparisons, comparisons,
+        base = _estimate(self._scan_io(pages), comparisons, comparisons,
                          cpu_weight=EARLY_ABANDON_WEIGHT,
                          detail=f"{pages} pages + {comparisons:.0f} "
                                 "early-abandoned pair distances")

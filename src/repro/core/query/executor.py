@@ -53,6 +53,7 @@ from .planner import (
     Plan,
     Planner,
     ScanJoinPlan,
+    ScanNearestPlan,
     ScanRangePlan,
 )
 
@@ -268,7 +269,17 @@ class QueryEngine:
 
         Only untransformed range queries feed back: a transformation changes
         the distance distribution the histograms describe.
+
+        Scan-family plans additionally feed their buffer-pool counters into
+        the cost model (durable storage routes scan page reads through a
+        pool), so scan I/O estimates track the observed hit rate.
         """
+        if isinstance(outcome.plan, (ScanRangePlan, ScanNearestPlan,
+                                     ScanJoinPlan)):
+            hits = outcome.statistics.buffer_hits
+            misses = outcome.statistics.buffer_misses
+            if hits or misses:
+                self.planner.cost_model.observe_buffer(hits, misses)
         if not isinstance(node, RangeQuery) or node.transformation is not None:
             return
         if node.relation not in self.database:
@@ -571,6 +582,17 @@ class QueryEngine:
         self.database.drop_relation(name)
         self._scans.pop(name, None)
 
+    def invalidate_scans(self) -> None:
+        """Drop every materialised scan so the next query rebuilds them.
+
+        A durable checkpoint swaps the storage backend under the catalog
+        (fresh segments, fresh mmap page stores) without bumping relation
+        versions — the *data* is unchanged — so the version-keyed scan
+        cache must be cleared explicitly for scans to pick the new backend
+        up.
+        """
+        self._scans.clear()
+
     def _evict_stale_scans(self) -> None:
         """Drop scans whose relation was removed or replaced in the catalog.
 
@@ -594,9 +616,19 @@ class QueryEngine:
         self._evict_stale_scans()
         # The scan is a view over the relation's shared columnar store (the
         # same arrays a registered k-index and the statistics sampler read);
-        # constructing it extracts nothing.
+        # constructing it extracts nothing.  A durable database additionally
+        # supplies a memory-mapped page store and a buffer pool, so the
+        # scan's page charges become real segment reads with measured
+        # hit/miss counters.
+        backend_for = getattr(self.database, "scan_backend", None)
+        backend = backend_for(relation_name) if backend_for is not None else None
+        scan_kwargs: dict[str, Any] = {}
+        if backend is not None:
+            scan_kwargs = {"page_store": backend["page_store"],
+                           "buffer": backend["buffer"],
+                           "records_per_page": backend["records_per_page"]}
         scan = SequentialScan(store=self.database.columnar_store(relation_name),
-                              workers=self.workers)
+                              workers=self.workers, **scan_kwargs)
         self._scans[relation_name] = (relation, relation.version, scan)
         return scan
 
@@ -618,9 +650,12 @@ class QueryEngine:
             answers = scan.nearest_neighbors(query_series, node.k,
                                              transformation=transformation,
                                              transform_query=node.transform_query)
+            hits, misses = scan.last_buffer_io
             statistics = QueryStatistics(node_accesses=scan.data_pages,
                                          candidates=len(scan),
-                                         postprocessed=len(scan))
+                                         postprocessed=len(scan),
+                                         buffer_hits=hits,
+                                         buffer_misses=misses)
             return QueryOutcome(plan=plan, answers=answers,
                                 statistics=statistics)
         if isinstance(node, AllPairsQuery):

@@ -488,6 +488,12 @@ def explain(plan: Plan, statistics=None) -> str:
             f"{statistics.record_fetches} record fetches), "
             f"{statistics.candidates} candidates, "
             f"{statistics.postprocessed} postprocessed")
+        probes = statistics.buffer_hits + statistics.buffer_misses
+        if probes:
+            lines.append(
+                f"  buffer: {statistics.buffer_hits}/{probes} hits "
+                f"({100.0 * statistics.buffer_hits / probes:.1f}% hit rate, "
+                f"{statistics.buffer_misses} device reads)")
     for rejected in plan.rejected:
         estimate = (f"estimated {rejected.estimate.total:.1f}"
                     if rejected.estimate is not None else "no estimate")

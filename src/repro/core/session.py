@@ -304,6 +304,22 @@ class Session:
     workers:
         Worker threads for partition-parallel scans (see
         :class:`QueryEngine`); ``None``/``1`` serial, ``0`` one per core.
+    path:
+        Directory of a durable database.  When given (and ``database`` is
+        not), the session opens a
+        :class:`~repro.storage.durable.DurableDatabase` at that path —
+        creating the directory on first use, recovering from the manifest
+        and the write-ahead log otherwise.  Durable sessions support
+        :meth:`checkpoint` / :meth:`close` and checkpoint automatically on
+        clean ``with``-block exit.
+    wal_sync:
+        Durable only: the write-ahead log's fsync policy — ``"always"``
+        (fsync every record), ``"batch"`` (fsync every ``batch`` records
+        and on checkpoint; the default) or ``"off"`` (leave syncing to the
+        OS).
+    buffer_pages:
+        Durable only: capacity (in pages) of the buffer pools that serve
+        sequential scans over the memory-mapped segments.
     """
 
     def __init__(self, database: Database | None = None, *,
@@ -311,7 +327,18 @@ class Session:
                  plan_cache_size: int = 256,
                  answer_cache_size: int = 1024,
                  answer_cache_bytes: int | None = None,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 path: str | None = None,
+                 wal_sync: str = "batch",
+                 buffer_pages: int = 256) -> None:
+        if path is not None:
+            if database is not None:
+                raise CatalogError(
+                    "pass either an existing database or a durable path, "
+                    "not both")
+            from ..storage.durable import DurableDatabase
+            database = DurableDatabase(path, wal_sync=wal_sync,
+                                       buffer_pages=buffer_pages)
         self.database = database if database is not None else Database()
         #: The underlying engine — the compat escape hatch; everything the
         #: session runs goes through it (and through its caches).
@@ -438,6 +465,39 @@ class Session:
         """Drop every cached plan and answer."""
         self.engine.clear_caches()
 
+    # -- durability --------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Snapshot a durable database: flush the WAL, write columnar
+        segments and serialized index pages, atomically swap the manifest.
+        After a checkpoint, reopening skips both WAL replay and index
+        rebuilds.  A no-op for in-memory sessions."""
+        checkpoint = getattr(self.database, "checkpoint", None)
+        if checkpoint is not None:
+            checkpoint()
+            # The checkpoint re-mmapped the segment files; materialised
+            # scans must re-attach to the new page stores and pools.
+            self.engine.invalidate_scans()
+
+    def close(self) -> None:
+        """Flush and close a durable database's write-ahead log (without
+        checkpointing).  A no-op for in-memory sessions; the session object
+        must not be used afterwards."""
+        close = getattr(self.database, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> Session:
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Checkpoint on clean exit, so ``with repro.connect(path=...)``
+        leaves a snapshot that reopens without replay or rebuilds; on an
+        exception only flush and close — the WAL already holds every
+        acknowledged write, and recovery replays it."""
+        if exc_type is None:
+            self.checkpoint()
+        self.close()
+
     def __repr__(self) -> str:
         return f"Session({self.database!r})"
 
@@ -447,18 +507,30 @@ def connect(database: Database | None = None, *,
             plan_cache_size: int = 256,
             answer_cache_size: int = 1024,
             answer_cache_bytes: int | None = None,
-            workers: int | None = None) -> Session:
+            workers: int | None = None,
+            path: str | None = None,
+            wal_sync: str = "batch",
+            buffer_pages: int = 256) -> Session:
     """Open a :class:`Session` — the recommended way in.
 
     ``repro.connect()`` starts from an empty catalog;
     ``repro.connect(existing_database)`` wraps one built elsewhere (the
     migration path for code that already constructs ``Database`` /
-    ``QueryEngine`` by hand).  ``workers`` turns on partition-parallel scan
-    execution (``0`` = one worker per CPU core); answers are bit-identical
-    to the serial default.
+    ``QueryEngine`` by hand); ``repro.connect(path="...")`` opens (or
+    recovers) a *durable* database directory — use it as a context manager
+    to checkpoint on clean exit::
+
+        with repro.connect(path="walks.db") as session:
+            session.relation("walks").insert_many(archive)
+
+    ``workers`` turns on partition-parallel scan execution (``0`` = one
+    worker per CPU core); answers are bit-identical to the serial default.
+    ``wal_sync`` and ``buffer_pages`` tune a durable session's fsync policy
+    and buffer-pool capacity (see :class:`Session`).
     """
     return Session(database, transformations=transformations,
                    plan_cache_size=plan_cache_size,
                    answer_cache_size=answer_cache_size,
                    answer_cache_bytes=answer_cache_bytes,
-                   workers=workers)
+                   workers=workers, path=path, wal_sync=wal_sync,
+                   buffer_pages=buffer_pages)

@@ -103,7 +103,8 @@ class SequentialScan:
                  records_per_page: int | None = None,
                  store: ColumnarRecordStore | None = None,
                  workers: int | None = None,
-                 partition_rows: int | None = None) -> None:
+                 partition_rows: int | None = None,
+                 buffer: "BufferPool | None" = None) -> None:
         self.extractor = extractor if extractor is not None else SeriesFeatureExtractor()
         self.store = store if store is not None else ColumnarRecordStore()
         self.workers = resolve_workers(workers)
@@ -111,9 +112,15 @@ class SequentialScan:
                                if partition_rows is not None
                                else DEFAULT_PARTITION_ROWS)
         self._page_store = page_store
+        #: Optional buffer pool in front of the page store: page reads go
+        #: through it, so resident pages cost no device read and the pool's
+        #: hit/miss deltas land in each query's statistics.
+        self.buffer = buffer
         self._records_per_page = (max(1, int(records_per_page))
                                   if records_per_page is not None else None)
         self._pages: list[int] = []
+        #: (hits, misses) charged by the most recent scan pass.
+        self.last_buffer_io = (0, 0)
         for position in range(len(self.store)):
             self._account_record(position)
 
@@ -154,10 +161,23 @@ class SequentialScan:
         return -(-len(self.store) // self.records_per_page)
 
     def _charge_scan_io(self) -> None:
+        """One read per data page — through the buffer pool when one is
+        attached, so resident pages are hits rather than device reads.
+        The pass's (hits, misses) delta lands in :attr:`last_buffer_io`."""
         if self._page_store is None:
+            self.last_buffer_io = (0, 0)
+            return
+        if self.buffer is not None:
+            hits_before = self.buffer.stats.hits
+            misses_before = self.buffer.stats.misses
+            for page_id in self._pages:
+                self.buffer.read(page_id)
+            self.last_buffer_io = (self.buffer.stats.hits - hits_before,
+                                   self.buffer.stats.misses - misses_before)
             return
         for page_id in self._pages:
             self._page_store.read(page_id)
+        self.last_buffer_io = (0, 0)
 
     # ------------------------------------------------------------------
     # query-side helpers
@@ -256,6 +276,7 @@ class SequentialScan:
         # One sequential pass over the data pages; exact distances come with
         # the pages already read, so no per-candidate record fetches.
         result.statistics.node_accesses = self.data_pages
+        result.statistics.buffer_hits, result.statistics.buffer_misses = self.last_buffer_io
         result.statistics.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -352,5 +373,6 @@ class SequentialScan:
         stats.postprocessed = count * (count - 1) // 2
         stats.candidates = stats.postprocessed
         stats.node_accesses = self.data_pages
+        stats.buffer_hits, stats.buffer_misses = self.last_buffer_io
         stats.elapsed_seconds = time.perf_counter() - started
         return pairs, stats

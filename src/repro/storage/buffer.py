@@ -75,6 +75,7 @@ class BufferPool:
         self.stats = BufferStatistics()
         self._lock = threading.RLock()
         self._frames: OrderedDict[int, Any] = OrderedDict()
+        self._dirty: set[int] = set()
 
     def read(self, page_id: int) -> Any:
         """Fetch a page payload through the cache."""
@@ -89,19 +90,40 @@ class BufferPool:
             return payload
 
     def write(self, page_id: int, payload: Any) -> None:
-        """Write through to the store and refresh the cached copy."""
+        """Update the cached copy and mark the page dirty.
+
+        The store is *not* touched here: on a real device unconditional
+        write-through doubles the I/O of every hot-page update.  Dirty
+        pages reach the store when they are evicted (write-back) or when
+        the caller :meth:`flush`\\ es — e.g. at a checkpoint.
+        """
         with self._lock:
-            self.store.write(page_id, payload)
             self._insert(page_id, payload)
+            self._dirty.add(page_id)
+
+    def flush(self) -> int:
+        """Write every dirty resident page back to the store; returns how
+        many were written.  Called at checkpoints and before ``clear``."""
+        with self._lock:
+            flushed = 0
+            for page_id in sorted(self._dirty):
+                if page_id in self._frames:
+                    self.store.write(page_id, self._frames[page_id])
+                    flushed += 1
+            self._dirty.clear()
+            return flushed
 
     def invalidate(self, page_id: int) -> None:
-        """Drop a page from the cache (e.g. after it was freed)."""
+        """Drop a page from the cache (e.g. after it was freed) — its
+        dirty state is discarded with it."""
         with self._lock:
             self._frames.pop(page_id, None)
+            self._dirty.discard(page_id)
 
     def clear(self) -> None:
-        """Empty the cache (counters are preserved)."""
+        """Flush dirty pages, then empty the cache (counters preserved)."""
         with self._lock:
+            self.flush()
             self._frames.clear()
 
     def _insert(self, page_id: int, payload: Any) -> None:
@@ -109,7 +131,12 @@ class BufferPool:
             self._frames[page_id] = payload
             self._frames.move_to_end(page_id)
             while len(self._frames) > self.capacity:
-                self._frames.popitem(last=False)
+                victim, victim_payload = self._frames.popitem(last=False)
+                if victim in self._dirty:
+                    # Write-back: the store sees one write per eviction of
+                    # a modified page, not one per update.
+                    self.store.write(victim, victim_payload)
+                    self._dirty.discard(victim)
                 self.stats.evictions += 1
 
     def __len__(self) -> int:

@@ -143,6 +143,36 @@ class ColumnarRecordStore:
         for series in collection:
             self.append(series)
 
+    def bulk_load(self, collection: Sequence[Any], coefficients: np.ndarray,
+                  lengths: np.ndarray, means: np.ndarray,
+                  stds: np.ndarray) -> None:
+        """Append a whole block of pre-extracted records in one array copy.
+
+        Recovery's bulk path: durable segment files already hold the padded
+        spectra matrix, so loading is a block copy instead of per-record
+        appends — and never an FFT.  ``coefficients`` rows must be
+        zero-padded beyond each row's true ``lengths`` entry, exactly as
+        this store pads them.
+        """
+        coefficients = np.asarray(coefficients, dtype=np.complex128)
+        count = coefficients.shape[0]
+        if count != len(collection):
+            raise DimensionMismatchError(
+                f"bulk_load got {len(collection)} series for "
+                f"{count} coefficient rows")
+        if count == 0:
+            return
+        start = self._count
+        self._reserve(start + count, coefficients.shape[1])
+        self._coefficients[start:start + count,
+                           :coefficients.shape[1]] = coefficients
+        self._lengths[start:start + count] = lengths
+        self._means[start:start + count] = means
+        self._stds[start:start + count] = stds
+        self._series.extend(collection)
+        self._count += count
+        self._transformed_cache.clear()
+
     def _reserve(self, rows: int, width: int) -> None:
         capacity, current_width = self._coefficients.shape
         new_capacity = capacity

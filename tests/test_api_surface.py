@@ -21,11 +21,11 @@ from repro import BoundQuery, PreparedQuery, Q, RelationHandle, Session, connect
 
 EXPECTED_ALL = [
     "AdditiveCostModel", "AllPairsQuery", "AnyPattern", "BoundQuery",
-    "BufferPool", "CatalogError", "ColumnarRecordStore",
+    "BufferPool", "CatalogError", "ColumnSegment", "ColumnarRecordStore",
     "ComposedTransformation", "ConstantPattern",
     "CostBudget", "CostEstimate", "CostExceededError", "DataObject",
     "Database", "DimensionMismatchError", "DistanceHistogram",
-    "DistanceProvider", "FeatureVector",
+    "DistanceProvider", "DurableDatabase", "FeatureVector",
     "FunctionTransformation", "GenericObject", "IdentityTransformation",
     "IndexAdvisor", "IndexRecommendation",
     "KIndex", "LinearTransformation", "MaxCostModel", "MetricIndex",
@@ -39,12 +39,13 @@ EXPECTED_ALL = [
     "RealLinearTransformation", "Rect", "RectangularSpace", "RejectedPlan",
     "Relation", "RelationHandle", "RelationPattern", "RelationStatistics",
     "ReproError", "ReverseTransform",
-    "Row", "ScaleTransform", "SequentialScan", "SeriesFeatureExtractor",
+    "Row", "ScaleTransform", "SegmentPageStore", "SequentialScan",
+    "SeriesFeatureExtractor",
     "Session", "ShiftTransform", "SimilarityEngine", "SimilarityQuery",
     "SpectralTransformation", "StockArchiveConfig", "StringObject",
     "TimeSeries", "TimeWarpTransform", "Transformation",
     "TransformationRuleSet", "TransformedPattern", "UnsafeTransformationError",
-    "WorkloadProfile",
+    "WorkloadProfile", "WriteAheadLog",
     "__version__", "city_block", "connect", "dft", "dtw_distance",
     "edit_distance_provider", "euclidean", "euclidean_with_early_abandon",
     "explain", "identity_spectral", "inverse_dft", "is_similar",
@@ -77,12 +78,14 @@ class TestAllSnapshot:
 
 class TestFacadeSignatures:
     def test_connect(self):
+        # PR 8: durable storage adds path / wal_sync / buffer_pages.
         assert _signature(connect) == (
             "(database: 'Database | None' = None, *, "
             "transformations: 'Mapping[str, SpectralTransformation] | None' = None, "
             "plan_cache_size: 'int' = 256, answer_cache_size: 'int' = 1024, "
             "answer_cache_bytes: 'int | None' = None, "
-            "workers: 'int | None' = None) "
+            "workers: 'int | None' = None, path: 'str | None' = None, "
+            "wal_sync: 'str' = 'batch', buffer_pages: 'int' = 256) "
             "-> 'Session'")
 
     def test_session_methods(self):
@@ -139,3 +142,8 @@ class TestFacadeSignatures:
         for method in ("insert", "insert_many", "with_index", "with_distance",
                        "rows", "objects"):
             assert callable(getattr(RelationHandle, method))
+
+    def test_session_durability_surface(self):
+        # PR 8: checkpoint/close and context-manager checkpointing.
+        for method in ("checkpoint", "close", "__enter__", "__exit__"):
+            assert callable(getattr(Session, method))

@@ -1,0 +1,417 @@
+"""Durable storage: persistent segments, WAL, crash-safe recovery.
+
+The crash model: a process dies at an arbitrary instant, which on disk
+means the write-ahead log is truncated at an arbitrary byte offset — in
+the middle of a record, in the middle of a header, anywhere.  With
+``wal_sync="always"`` every *acknowledged* write is fully on disk before
+the call returns, so recovery must land exactly on the acknowledged state
+whose last record survived, never on a torn or invented one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+
+import pytest
+
+import repro
+from repro import (
+    KIndex,
+    MetricIndex,
+    StringObject,
+    edit_distance_provider,
+    random_walk_collection,
+)
+from repro.core.errors import StorageError
+from repro.storage.durable import DurableDatabase, WriteAheadLog
+from repro.storage.durable.wal import wal_filename
+
+RANGE_SQL = "SELECT FROM walks WHERE dist(series, $q) < 5.0"
+
+
+def _answers(session, query_obj, sql=RANGE_SQL):
+    out = session.sql(sql, q=query_obj)
+    return [(obj.object_id, distance) for obj, distance in out.answers]
+
+
+def _ids(session, name="walks"):
+    return [obj.object_id for obj in session.relation(name).objects()]
+
+
+class TestRoundTrip:
+    def test_checkpointed_reopen_is_bit_identical(self, tmp_path):
+        data = random_walk_collection(40, 64, seed=11)
+        path = str(tmp_path / "db")
+        with repro.connect(path=path) as session:
+            session.relation("walks").insert_many(data).with_index(KIndex())
+            expected_answers = _answers(session, data[3])
+            expected_ids = _ids(session)
+
+        reopened = repro.connect(path=path)
+        assert reopened.database.recovered
+        assert _ids(reopened) == expected_ids
+        # Bit-identical: ids and exact float distances.
+        assert _answers(reopened, data[3]) == expected_answers
+        reopened.close()
+
+    def test_reopen_skips_index_rebuild(self, tmp_path):
+        data = random_walk_collection(50, 64, seed=12)
+        path = str(tmp_path / "db")
+        with repro.connect(path=path) as session:
+            session.relation("walks").insert_many(data).with_index(KIndex())
+            expected = _answers(session, data[0])
+
+        reopened = repro.connect(path=path)
+        database = reopened.database
+        assert database.deserialized_indexes == 1
+        assert database.cold_index_builds == 0
+        assert database.replayed_wal_records == 0
+        assert _answers(reopened, data[0]) == expected
+        # One query, one planner invocation: nothing was re-planned or
+        # rebuilt behind the scenes.
+        assert reopened.engine.planner.invocations == 1
+        reopened.close()
+
+    def test_new_inserts_after_reopen_get_fresh_ids(self, tmp_path):
+        data = random_walk_collection(10, 32, seed=13)
+        path = str(tmp_path / "db")
+        with repro.connect(path=path) as session:
+            session.relation("walks").insert_many(data)
+            recovered_ids = set(_ids(session))
+
+        reopened = repro.connect(path=path)
+        more = random_walk_collection(3, 32, seed=14)
+        reopened.relation("walks").insert_many(more)
+        fresh = [obj.object_id for obj in more]
+        assert not set(fresh) & recovered_ids
+        assert min(fresh) > max(recovered_ids)
+        reopened.close()
+
+    def test_strings_relation_with_metric_index(self, tmp_path):
+        words = [StringObject(w) for w in
+                 ("kitten", "sitting", "mitten", "bitten", "smitten")]
+        path = str(tmp_path / "db")
+        sql = "SELECT FROM words WHERE dist(OBJECT, $q) < 2.5"
+        with repro.connect(path=path) as session:
+            provider = edit_distance_provider()
+            (session.relation("words").insert_many(words)
+             .with_distance(provider)
+             .with_index(MetricIndex(provider.distance)))
+            expected = _answers(session, StringObject("mitten"), sql=sql)
+
+        reopened = repro.connect(path=path)
+        assert reopened.database.deserialized_indexes == 1
+        assert _answers(reopened, StringObject("mitten"), sql=sql) == expected
+        reopened.close()
+
+
+class TestWalReplay:
+    def test_uncheckpointed_writes_survive(self, tmp_path):
+        data = random_walk_collection(25, 64, seed=21)
+        path = str(tmp_path / "db")
+        session = repro.connect(path=path, wal_sync="always")
+        session.relation("walks").insert_many(data[:20])
+        session.relation("walks").insert(data[20])
+        expected_ids = _ids(session)
+        expected = _answers(session, data[2])
+        del session  # crash: no checkpoint, no close
+
+        reopened = repro.connect(path=path)
+        assert reopened.database.replayed_wal_records > 0
+        assert _ids(reopened) == expected_ids
+        assert _answers(reopened, data[2]) == expected
+        reopened.close()
+
+    def test_ddl_replays_from_wal_tail(self, tmp_path):
+        words = [StringObject(w) for w in ("abc", "abd", "xyz")]
+        path = str(tmp_path / "db")
+        sql = "SELECT FROM words WHERE dist(OBJECT, $q) < 1.5"
+        session = repro.connect(path=path, wal_sync="always")
+        provider = edit_distance_provider()
+        (session.relation("words").insert_many(words)
+         .with_distance(provider)
+         .with_index(MetricIndex(provider.distance)))
+        expected = _answers(session, StringObject("abe"), sql=sql)
+        del session  # crash before any checkpoint
+
+        reopened = repro.connect(path=path)
+        database = reopened.database
+        # No snapshot existed, so the index is cold-rebuilt from its spec.
+        assert database.cold_index_builds == 1
+        assert database.deserialized_indexes == 0
+        assert database.has_distance_provider("words")
+        assert _answers(reopened, StringObject("abe"), sql=sql) == expected
+        reopened.close()
+
+    def test_drop_relation_replays(self, tmp_path):
+        path = str(tmp_path / "db")
+        session = repro.connect(path=path, wal_sync="always")
+        session.relation("walks").insert_many(
+            random_walk_collection(5, 32, seed=22))
+        session.drop_relation("walks")
+        del session
+
+        reopened = repro.connect(path=path)
+        assert "walks" not in reopened.database
+        reopened.close()
+
+
+class TestCrashInjection:
+    """Truncate the WAL at randomized byte offsets — including mid-record —
+    and assert recovery lands exactly on an acknowledged prefix."""
+
+    def _build_workload(self, path):
+        data = random_walk_collection(16, 32, seed=31)
+        session = repro.connect(path=path, wal_sync="always")
+        handle = session.relation("walks")
+        snapshots = {0: ([], [])}  # row count -> (ids, answers)
+        for series in data:
+            handle.insert(series)
+            snapshots[len(handle)] = (_ids(session),
+                                      _answers(session, data[0]))
+        token = session.database.state_token("walks")
+        del session  # crash
+        return data, snapshots, token
+
+    def test_randomized_truncation_recovers_acknowledged_prefix(self, tmp_path):
+        path = str(tmp_path / "db")
+        data, snapshots, final_token = self._build_workload(path)
+        wal_path = os.path.join(path, wal_filename(0))
+        wal_size = os.path.getsize(wal_path)
+        assert wal_size > 0
+        rng = random.Random(777)
+        offsets = {0, wal_size, wal_size - 3}  # empty, whole, torn tail
+        while len(offsets) < 10:
+            offsets.add(rng.randrange(1, wal_size))
+        for offset in sorted(offsets):
+            copy = str(tmp_path / f"crash-{offset}")
+            shutil.copytree(path, copy)
+            with open(os.path.join(copy, wal_filename(0)), "r+b") as fh:
+                fh.truncate(offset)
+            reopened = repro.connect(path=copy)
+            database = reopened.database
+            if "walks" not in database:
+                # Truncation cut even the create_relation record: the
+                # acknowledged prefix of length zero.
+                reopened.close()
+                continue
+            count = len(reopened.relation("walks"))
+            assert count in snapshots, \
+                f"offset {offset}: {count} rows is not an acknowledged state"
+            expected_ids, expected_answers = snapshots[count]
+            assert _ids(reopened) == expected_ids
+            assert _answers(reopened, data[0]) == expected_answers
+            # Epoch monotonicity: the reopened catalog version sorts
+            # strictly after the crashed process's, so no token the old
+            # process handed out can alias the recovered state.
+            token = database.state_token("walks")
+            assert token[0] > final_token[0]
+            reopened.close()
+
+    def test_full_wal_recovers_final_state_with_newer_token(self, tmp_path):
+        path = str(tmp_path / "db")
+        data, snapshots, final_token = self._build_workload(path)
+        reopened = repro.connect(path=path)
+        count = len(reopened.relation("walks"))
+        assert count == len(data)
+        expected_ids, expected_answers = snapshots[count]
+        assert _ids(reopened) == expected_ids
+        assert _answers(reopened, data[0]) == expected_answers
+        assert reopened.database.state_token("walks")[0] > final_token[0]
+        reopened.close()
+
+    def test_torn_tail_garbage_is_ignored(self, tmp_path):
+        wal_path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(wal_path, sync="always")
+        records = [{"op": "insert", "n": i} for i in range(5)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        with open(wal_path, "ab") as fh:
+            fh.write(b"\x07\x00\x00\x00garbage-no-checksum")
+        assert WriteAheadLog.replay(wal_path) == records
+
+    def test_corrupt_mid_record_stops_at_the_corruption(self, tmp_path):
+        wal_path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(wal_path, sync="always")
+        for i in range(4):
+            wal.append({"op": "insert", "n": i})
+        wal.close()
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as fh:
+            fh.seek(size // 2)
+            fh.write(b"\xff")
+        replayed = WriteAheadLog.replay(wal_path)
+        # A prefix survives; the corrupted record and everything after it
+        # (no resynchronisation is attempted) are dropped.
+        assert replayed == [{"op": "insert", "n": i}
+                            for i in range(len(replayed))]
+        assert len(replayed) < 4
+
+
+class TestDurableGuards:
+    def test_unreconstructible_provider_is_rejected_and_rolled_back(self, tmp_path):
+        database = DurableDatabase(str(tmp_path / "db"))
+        database.create_relation(
+            "words", [StringObject(w) for w in ("ab", "cd")])
+        with pytest.raises(StorageError, match="not reconstructible"):
+            database.register_distance(
+                "words", lambda a, b: abs(len(a.text) - len(b.text)),
+                name="ad-hoc-length")
+        assert not database.has_distance_provider("words")
+        database.close()
+
+    def test_metric_index_requires_registered_provider(self, tmp_path):
+        database = DurableDatabase(str(tmp_path / "db"))
+        database.create_relation(
+            "words", [StringObject(w) for w in ("ab", "cd")])
+        provider = edit_distance_provider()
+        index = MetricIndex(provider.distance)
+        index.extend(database.relation("words"))
+        with pytest.raises(StorageError, match="distance provider"):
+            database.register_index("words", index)
+        database.close()
+
+    def test_session_rejects_database_and_path_together(self, tmp_path):
+        from repro import CatalogError, Database
+
+        with pytest.raises(CatalogError):
+            repro.connect(Database(), path=str(tmp_path / "db"))
+
+    def test_corrupt_manifest_fails_loudly(self, tmp_path):
+        path = str(tmp_path / "db")
+        repro.connect(path=path).close()
+        with open(os.path.join(path, "MANIFEST.json"), "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(StorageError):
+            repro.connect(path=path)
+
+    def test_exception_in_with_block_skips_checkpoint(self, tmp_path):
+        path = str(tmp_path / "db")
+        data = random_walk_collection(6, 32, seed=41)
+        with pytest.raises(RuntimeError):
+            with repro.connect(path=path, wal_sync="always") as session:
+                session.relation("walks").insert_many(data)
+                raise RuntimeError("boom")
+        manifest = json.load(open(os.path.join(path, "MANIFEST.json")))
+        assert manifest["epoch"] == 0  # no checkpoint happened...
+        reopened = repro.connect(path=path)
+        assert len(reopened.relation("walks")) == len(data)  # ...WAL covers it
+        reopened.close()
+
+    def test_checkpoint_is_a_noop_in_memory(self):
+        session = repro.connect()
+        session.checkpoint()  # must not raise
+        session.close()
+        with repro.connect() as session:
+            session.relation("walks")
+
+
+class TestMeasuredIO:
+    def test_scan_reads_go_through_the_buffer_pool(self, tmp_path):
+        data = random_walk_collection(120, 64, seed=51)
+        path = str(tmp_path / "db")
+        with repro.connect(path=path) as session:
+            session.relation("walks").insert_many(data)
+
+        reopened = repro.connect(path=path)
+        first = reopened.sql(RANGE_SQL, q=data[0])
+        second = reopened.sql(RANGE_SQL, q=data[1])
+        # Cold pass faults every page in; the warm pass is all hits.
+        assert first.statistics.buffer_misses > 0
+        assert first.statistics.buffer_hits == 0
+        assert second.statistics.buffer_hits == first.statistics.buffer_misses
+        assert second.statistics.buffer_misses == 0
+        # The device-side counters saw real mmap touches.
+        database = reopened.database
+        assert database.page_io("walks").reads == first.statistics.buffer_misses
+        assert database._backends["walks"]["page_store"].mapped_reads > 0
+        # EXPLAIN renders the measured hit rate.
+        assert "buffer: " in reopened.explain(second)
+        assert "100.0% hit rate" in reopened.explain(second)
+        # The observed miss rate reached the planner's cost model.
+        assert reopened.engine.planner.cost_model.buffer_miss_rate < 1.0
+        reopened.close()
+
+    def test_larger_than_ram_relation_forces_evictions(self, tmp_path):
+        data = random_walk_collection(200, 64, seed=52)
+        path = str(tmp_path / "db")
+        with repro.connect(path=path) as session:
+            session.relation("walks").insert_many(data)
+            expected = _answers(session, data[0])
+
+        tiny = repro.connect(path=path, buffer_pages=2)
+        tiny.sql(RANGE_SQL, q=data[0])
+        outcome = tiny.sql(RANGE_SQL, q=data[0])
+        pool = tiny.database.buffer_pool("walks")
+        assert pool.capacity == 2
+        assert pool.stats.evictions > 0
+        # Bounded memory changes the I/O profile, never the answers.
+        assert outcome.statistics.buffer_misses > 0
+        assert _answers(tiny, data[0]) == expected
+        assert tiny.database.page_io("walks").reads > 0
+        tiny.close()
+
+    def test_checkpoint_mid_session_attaches_backends(self, tmp_path):
+        data = random_walk_collection(60, 64, seed=53)
+        path = str(tmp_path / "db")
+        session = repro.connect(path=path)
+        session.relation("walks").insert_many(data)
+        before = session.sql(RANGE_SQL, q=data[0])
+        assert before.statistics.buffer_hits == 0
+        assert before.statistics.buffer_misses == 0  # no segments yet
+        session.checkpoint()
+        after = session.sql(RANGE_SQL, q=data[1])
+        assert after.statistics.buffer_misses > 0  # now on real segments
+        session.close()
+
+
+class TestCheckpointHousekeeping:
+    def test_checkpoint_rolls_the_wal_epoch(self, tmp_path):
+        path = str(tmp_path / "db")
+        session = repro.connect(path=path)
+        session.relation("walks").insert_many(
+            random_walk_collection(8, 32, seed=61))
+        session.checkpoint()
+        session.checkpoint()
+        session.close()
+        wal_files = [name for name in os.listdir(path)
+                     if name.startswith("wal-")]
+        assert wal_files == [wal_filename(2)]
+        manifest = json.load(open(os.path.join(path, "MANIFEST.json")))
+        assert manifest["epoch"] == 2
+
+    def test_immutable_full_spans_are_not_rewritten(self, tmp_path):
+        path = str(tmp_path / "db")
+        session = repro.connect(path=path)
+        # Two full partition spans plus a tail.
+        data = random_walk_collection(80, 32, seed=62)
+        session.database.partition_rows = 32
+        session.relation("walks").insert_many(data)
+        session.checkpoint()
+        directory = os.path.join(path, "segments", "walks")
+        full_span = [name for name in os.listdir(directory)
+                     if name.startswith("seg-00000000-")]
+        stamps = {name: os.path.getmtime(os.path.join(directory, name))
+                  for name in full_span}
+        session.relation("walks").insert_many(
+            random_walk_collection(5, 32, seed=63))
+        session.checkpoint()
+        for name, stamp in stamps.items():
+            assert os.path.getmtime(os.path.join(directory, name)) == stamp
+        session.close()
+
+    def test_dropped_relation_files_are_swept(self, tmp_path):
+        path = str(tmp_path / "db")
+        session = repro.connect(path=path)
+        session.relation("walks").insert_many(
+            random_walk_collection(8, 32, seed=64))
+        session.checkpoint()
+        assert os.listdir(os.path.join(path, "segments", "walks"))
+        session.drop_relation("walks")
+        session.checkpoint()
+        assert not os.listdir(os.path.join(path, "segments", "walks"))
+        session.close()

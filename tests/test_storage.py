@@ -92,14 +92,31 @@ class TestBufferPool:
         pool.read(ids[0])  # miss again
         assert pool.stats.misses == 4
 
-    def test_write_through(self):
+    def test_write_back(self):
         store = PageStore()
         page_id = store.allocate("v1")
         pool = BufferPool(store, capacity=2)
+        writes_before = store.stats.writes
         pool.write(page_id, "v2")
-        assert store.read(page_id) == "v2"
+        # No write-through: the store is untouched until flush/eviction.
+        assert store.stats.writes == writes_before
+        assert store.read(page_id) == "v1"
         assert pool.read(page_id) == "v2"
         assert pool.stats.hits == 1  # the cached copy served the read
+        assert pool.flush() == 1
+        assert store.read(page_id) == "v2"
+        assert pool.flush() == 0  # clean after the write-back
+
+    def test_write_back_on_eviction(self):
+        store = PageStore()
+        ids = [store.allocate(f"v{i}") for i in range(3)]
+        pool = BufferPool(store, capacity=2)
+        pool.write(ids[0], "dirty0")
+        pool.read(ids[1])
+        pool.read(ids[2])  # evicts ids[0], which is dirty
+        assert pool.stats.evictions == 1
+        assert store.read(ids[0]) == "dirty0"
+        assert pool.flush() == 0  # the eviction already wrote it back
 
     def test_invalidate_and_clear(self):
         store = PageStore()
