@@ -1,0 +1,313 @@
+"""SERVER LOAD — does the front door hold its promises under pressure?
+
+Two phases, mirroring the serving layer's two hard guarantees:
+
+**Load.**  64 concurrent clients hammer one server (range / NN / explain
+mix, seeded) through the admission controller.  Measured: p50/p99
+end-to-end latency (client-observed, backoff included) and throughput.
+Backpressure is allowed to delay queries — it is NOT allowed to lose or
+corrupt one: every query must eventually return the exact answer a quiet
+session computes.
+
+**Kill sweep.**  20 seeded kill points: each round serves a durable store
+with ``FaultPlan(kill_after_commits=k)``, inserts until the scheduled
+death, reopens the directory, and counts acknowledged writes that
+survived.  The floor is absolute: **zero lost acknowledged writes** in
+any round — the WAL acked them, so recovery must produce them.
+
+The ``--check`` floors the CI server-robustness job enforces:
+
+* zero failed or lost queries under 64-way load,
+* p99 latency under ``P99_CEILING_MS`` (generous — CI machines vary; the
+  point is catching order-of-magnitude regressions, not microtuning),
+* zero lost acknowledged writes across every kill round.
+
+Runnable under pytest-benchmark like the other ``bench_*`` files, or
+directly as a script; the CI job runs the script with ``--check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+import repro
+from repro import BackoffPolicy, FaultPlan, KIndex, ServerConfig, serve
+from repro.bench.recording import record_run
+from repro.core.errors import ConnectionLostError, RetryExhaustedError
+from repro.server.client import ServerClient
+from repro.timeseries.generators import random_walk, random_walk_collection
+
+#: ``--check`` ceilings for client-observed latency under 64-way load.
+P50_CEILING_MS = 500.0
+P99_CEILING_MS = 2000.0
+
+RANGE_SQL = "SELECT FROM walks WHERE dist(series, $q) < 6.0"
+NN_SQL = "SELECT FROM walks NEAREST 5 TO $q"
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# phase 1: concurrent load
+# ----------------------------------------------------------------------
+def run_load(num_series: int, length: int, clients: int,
+             queries_per_client: int) -> dict:
+    data = random_walk_collection(num_series, length, seed=17)
+    session = repro.connect()
+    session.relation("walks").insert_many(data).with_index(KIndex())
+    # A quiet twin provides the ground truth every loaded answer must hit.
+    expected = {}
+    for i in range(min(16, num_series)):
+        outcome = session.sql(RANGE_SQL, q=data[i])
+        expected[i] = {(obj.object_id, distance)
+                       for obj, distance in outcome.answers}
+
+    config = ServerConfig(max_in_flight=8, max_queue_depth=128,
+                          executor_threads=8)
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    failures: list[str] = []
+    mismatches: list[str] = []
+    retry_total = [0]
+
+    with serve(session, config=config) as handle:
+        def worker(slot: int) -> None:
+            rng = random.Random(1000 + slot)
+            client = ServerClient(
+                handle.address, timeout_s=60.0,
+                backoff=BackoffPolicy(base_ms=10.0, cap_ms=200.0,
+                                      attempts=50, seed=slot))
+            try:
+                for _ in range(queries_per_client):
+                    kind = rng.random()
+                    target = rng.randrange(min(16, num_series))
+                    started = time.perf_counter()
+                    if kind < 0.6:
+                        outcome = client.sql(RANGE_SQL, q=data[target])
+                        got = {(ref.object_id, distance)
+                               for ref, distance in outcome.answers}
+                        if got != expected[target]:
+                            mismatches.append(
+                                f"client {slot}: range answers diverged")
+                    elif kind < 0.9:
+                        outcome = client.sql(NN_SQL, q=data[target])
+                        if len(outcome) != 5:
+                            mismatches.append(
+                                f"client {slot}: NN returned {len(outcome)}")
+                    else:
+                        client.explain(RANGE_SQL)
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    with latency_lock:
+                        latencies.append(elapsed_ms)
+                with latency_lock:
+                    retry_total[0] += client.retries
+            except Exception as error:  # noqa: BLE001 — a failure is data
+                failures.append(f"client {slot}: {type(error).__name__}: "
+                                f"{error}")
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(clients)]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - wall_start
+        rejected = handle.server.stats["rejected"]
+    session.close()
+
+    total = clients * queries_per_client
+    return {
+        "num_series": num_series, "length": length,
+        "clients": clients, "queries_per_client": queries_per_client,
+        "total_queries": total,
+        "completed_queries": len(latencies),
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+        "throughput_qps": (len(latencies) / wall_s) if wall_s else 0.0,
+        "retry_later_rejections": rejected,
+        "client_retries": retry_total[0],
+        "failures": len(failures),
+        "mismatches": len(mismatches),
+        "failure_samples": failures[:3] + mismatches[:3],
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 2: seeded kill points
+# ----------------------------------------------------------------------
+def run_kill_sweep(rounds: int, seed: int = 29) -> dict:
+    rng = random.Random(seed)
+    lost_total = 0
+    recovered_rounds = 0
+    commits_exercised = 0
+    for round_index in range(rounds):
+        kill_after = rng.randrange(1, 6)
+        directory = tempfile.mkdtemp(prefix=f"bench-kill-{round_index}-")
+        try:
+            plan = FaultPlan(kill_after_commits=kill_after)
+            handle = serve(path=directory, wal_sync="always",
+                           config=ServerConfig(fault_plan=plan))
+            base = random_walk_collection(8, 32, seed=round_index)
+            handle.session.relation("walks").insert_many(base) \
+                .with_index(KIndex())
+            client = ServerClient(
+                handle.address, timeout_s=5.0,
+                backoff=BackoffPolicy(attempts=1, base_ms=1.0,
+                                      seed=round_index))
+            acked: list[str] = []
+            for i in range(kill_after + 2):
+                name = f"r{round_index}-w{i}"
+                row = random_walk(32, seed=10_000 + 100 * round_index + i,
+                                  name=name)
+                try:
+                    client.insert_many("walks", [row])
+                except (ConnectionLostError, RetryExhaustedError):
+                    break
+                acked.append(name)
+            client.close()
+            handle.wait_killed(10.0)
+            handle.join_after_kill()
+            commits_exercised += kill_after
+
+            with repro.connect(path=directory) as reopened:
+                names = {obj.name
+                         for obj in reopened.relation("walks").objects()}
+                lost = [name for name in acked if name not in names]
+                lost_total += len(lost)
+                # Recovery must yield a *working* store, not just rows.
+                outcome = reopened.sql(RANGE_SQL, q=base[0])
+                if any(obj.object_id == base[0].object_id
+                       for obj, _ in outcome.answers):
+                    recovered_rounds += 1
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "kill_rounds": rounds,
+        "recovered_rounds": recovered_rounds,
+        "commits_exercised": commits_exercised,
+        "lost_acked_writes": lost_total,
+    }
+
+
+def run_suite(num_series: int, length: int, clients: int,
+              queries_per_client: int, kill_rounds: int) -> dict:
+    metrics = run_load(num_series, length, clients, queries_per_client)
+    metrics.update(run_kill_sweep(kill_rounds))
+    return metrics
+
+
+def check(metrics: dict) -> list[str]:
+    """The hard assertions behind ``--check``; returns failure messages."""
+    failures = []
+    if metrics["failures"]:
+        failures.append(f"{metrics['failures']} client(s) failed outright "
+                        f"under load: {metrics['failure_samples']}")
+    if metrics["mismatches"]:
+        failures.append(f"{metrics['mismatches']} answer(s) under load "
+                        "diverged from the quiet session's ground truth")
+    if metrics["completed_queries"] != metrics["total_queries"]:
+        failures.append(
+            f"only {metrics['completed_queries']} of "
+            f"{metrics['total_queries']} queries completed")
+    if metrics["p50_ms"] > P50_CEILING_MS:
+        failures.append(f"p50 latency {metrics['p50_ms']:.1f} ms exceeds "
+                        f"the {P50_CEILING_MS:.0f} ms ceiling")
+    if metrics["p99_ms"] > P99_CEILING_MS:
+        failures.append(f"p99 latency {metrics['p99_ms']:.1f} ms exceeds "
+                        f"the {P99_CEILING_MS:.0f} ms ceiling")
+    if metrics["lost_acked_writes"]:
+        failures.append(f"{metrics['lost_acked_writes']} acknowledged "
+                        "write(s) lost across the kill sweep — data loss")
+    if metrics["recovered_rounds"] != metrics["kill_rounds"]:
+        failures.append(
+            f"only {metrics['recovered_rounds']} of "
+            f"{metrics['kill_rounds']} kill rounds recovered to a store "
+            "that answers queries")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="server")
+def bench_server_load(benchmark):
+    metrics = benchmark(lambda: run_suite(120, 32, 8, 5, 2))
+    assert not metrics["failures"] and not metrics["mismatches"]
+    assert metrics["lost_acked_writes"] == 0
+
+
+# ----------------------------------------------------------------------
+# script entry point (used by the CI server-robustness job)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--series", type=int, default=300,
+                        help="relation size (default 300)")
+    parser.add_argument("--length", type=int, default=64,
+                        help="series length (default 64)")
+    parser.add_argument("--clients", type=int, default=64,
+                        help="concurrent clients (default 64)")
+    parser.add_argument("--queries", type=int, default=10,
+                        help="queries per client (default 10)")
+    parser.add_argument("--kill-rounds", type=int, default=20,
+                        help="seeded kill points (default 20)")
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="trajectory file to append to "
+                             "(default BENCH_perf.json)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure only; do not touch the trajectory file")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on lost/diverged answers, latency above "
+                             "the ceilings, or any lost acknowledged write")
+    arguments = parser.parse_args(argv)
+    if arguments.series < 20 or arguments.clients < 1 \
+            or arguments.queries < 1 or arguments.kill_rounds < 1:
+        parser.error("--series >= 20, --clients >= 1, --queries >= 1, "
+                     "--kill-rounds >= 1 required")
+    metrics = run_suite(arguments.series, arguments.length,
+                        arguments.clients, arguments.queries,
+                        arguments.kill_rounds)
+    print(f"== server load: {metrics['clients']} clients x "
+          f"{metrics['queries_per_client']} queries over "
+          f"{metrics['num_series']} walks x {metrics['length']} ==")
+    print(f"  p50 {metrics['p50_ms']:8.2f} ms   p99 {metrics['p99_ms']:8.2f} "
+          f"ms   {metrics['throughput_qps']:8.1f} q/s")
+    print(f"  backpressure: {metrics['retry_later_rejections']} RETRY_LATER "
+          f"rejections, {metrics['client_retries']} client retries, "
+          f"{metrics['failures']} failures, {metrics['mismatches']} "
+          f"divergences")
+    print(f"== kill sweep: {metrics['kill_rounds']} scheduled kill points "
+          f"({metrics['commits_exercised']} commits exercised) ==")
+    print(f"  lost acknowledged writes: {metrics['lost_acked_writes']}   "
+          f"recovered stores: {metrics['recovered_rounds']}/"
+          f"{metrics['kill_rounds']}")
+    if not arguments.no_record:
+        record_run("server_load", metrics, path=arguments.output)
+        print(f"recorded under machine key in {arguments.output}")
+    failures = check(metrics)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if arguments.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,13 +59,21 @@ from .core.database import Database, DistanceProvider, Relation, Row
 from .core.distance import city_block, euclidean, euclidean_with_early_abandon
 from .core.errors import (
     CatalogError,
+    ConnectionLostError,
     CostExceededError,
+    DeadlineExceededError,
     DimensionMismatchError,
     PatternError,
+    ProtocolError,
     QueryBuildError,
+    QueryCancelledError,
     QueryPlanningError,
     QuerySyntaxError,
     ReproError,
+    RetryExhaustedError,
+    RetryLaterError,
+    ServerError,
+    SessionClosedError,
     UnsafeTransformationError,
 )
 from .core.objects import DataObject, FeatureVector, GenericObject
@@ -83,6 +91,7 @@ from .core.query.costmodel import CostEstimate, QueryCostModel
 from .core.query.executor import QueryEngine, QueryOutcome
 from .core.query.parser import parse as parse_query
 from .core.query.planner import Planner, RejectedPlan, explain
+from .core.cancel import CancellationToken, cancel_scope, checkpoint as cancellation_checkpoint
 from .core.session import BoundQuery, PreparedQuery, RelationHandle, Session, connect
 from .core.stats import DistanceHistogram, RelationStatistics
 from .core.rules import TransformationRuleSet
@@ -97,6 +106,20 @@ from .core.transformations import (
     Transformation,
 )
 from .index.geometry import Rect, mindist, minmaxdist
+from . import client
+from .server import (
+    BackoffPolicy,
+    FaultPlan,
+    ObjectRef,
+    QueryServer,
+    RemoteCursor,
+    RemoteOutcome,
+    RemoteStatement,
+    ServerClient,
+    ServerConfig,
+    ServerHandle,
+    serve,
+)
 from .index.kindex import KIndex, NearestNeighborResult, RangeQueryResult
 from .index.metric import MetricIndex
 from .index.partitioned import PartitionedIndex, PartitionedMetricIndex
@@ -157,6 +180,13 @@ __all__ = [
     "ReproError", "DimensionMismatchError", "UnsafeTransformationError",
     "CatalogError", "CostExceededError", "PatternError", "QuerySyntaxError",
     "QueryBuildError", "QueryPlanningError",
+    "SessionClosedError", "QueryCancelledError", "DeadlineExceededError",
+    "ServerError", "ProtocolError", "RetryLaterError", "ConnectionLostError",
+    "RetryExhaustedError",
+    "CancellationToken", "cancel_scope", "cancellation_checkpoint",
+    "serve", "ServerConfig", "ServerHandle", "QueryServer", "ServerClient",
+    "BackoffPolicy", "RemoteOutcome", "RemoteStatement", "RemoteCursor",
+    "ObjectRef", "FaultPlan", "client",
     "DataObject", "FeatureVector", "GenericObject",
     "Pattern", "AnyPattern", "ConstantPattern", "PredicatePattern",
     "RelationPattern", "TransformedPattern",

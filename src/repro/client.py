@@ -1,0 +1,16 @@
+"""``repro.client`` — the client half of the serving layer, importable
+directly so the canonical call reads naturally::
+
+    import repro
+    handle = repro.serve(path="walks.db")
+    client = repro.client.connect(handle.address)
+
+Everything here re-exports from :mod:`repro.server.client`; see that
+module for the retry discipline and the Session-shaped surface.
+"""
+
+from .server.client import (BackoffPolicy, RemoteCursor, RemoteOutcome,
+                            RemoteStatement, ServerClient, connect)
+
+__all__ = ["connect", "ServerClient", "BackoffPolicy", "RemoteOutcome",
+           "RemoteStatement", "RemoteCursor"]

@@ -8,7 +8,7 @@ cost and copy semantics of process pools — and, crucially for correctness,
 all workers read the *same* arrays, so answers cannot drift through
 serialization round-trips.
 
-Two deliberate properties:
+Three deliberate properties:
 
 * ``parallel_map`` preserves **input order** in its output regardless of
   completion order — every caller merges per-partition results
@@ -16,7 +16,14 @@ Two deliberate properties:
   serial ones;
 * pools are cached per worker count and shared process-wide.  Queries are
   short; creating a pool per query would dominate small partitions.  The
-  cache is guarded by a lock so concurrent sessions can share it.
+  cache is guarded by a lock so concurrent sessions can share it, and an
+  ``atexit`` hook shuts every cached pool down at interpreter exit so the
+  process never hangs on (or leaks) non-daemon worker threads;
+* cancellation propagates: ``parallel_map`` captures the caller's
+  :class:`~repro.core.cancel.CancellationToken` (if one is installed) and
+  re-installs it inside each pooled task, polling it before the task body
+  runs — a tripped deadline makes queued partitions raise immediately,
+  releasing their pool slots instead of computing abandoned answers.
 
 ``workers`` resolution is uniform everywhere (scan, indexes, cost model,
 :func:`repro.connect`): ``None`` and ``1`` mean serial, ``0`` means "all
@@ -25,12 +32,15 @@ cores" (``os.cpu_count()``), any other positive integer is taken literally.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
-__all__ = ["resolve_workers", "parallel_map", "get_pool"]
+from .cancel import cancel_scope, checkpoint, current_token
+
+__all__ = ["resolve_workers", "parallel_map", "get_pool", "shutdown_pools"]
 
 _pools: dict[int, ThreadPoolExecutor] = {}
 _pools_lock = threading.Lock()
@@ -65,6 +75,24 @@ def get_pool(workers: int) -> ThreadPoolExecutor:
         return pool
 
 
+def shutdown_pools(*, wait: bool = True) -> None:
+    """Shut down and forget every cached pool (idempotent).
+
+    Registered with :mod:`atexit`, so the process-wide pools never outlive
+    the interpreter; callers who want an earlier teardown (tests, embedded
+    uses) may invoke it directly — the next :func:`get_pool` transparently
+    builds a fresh pool.
+    """
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
 def parallel_map(function: Callable[..., Any], tasks: Sequence[Any], *,
                  workers: int) -> list[Any]:
     """Apply ``function`` to every task, returning results in task order.
@@ -74,11 +102,28 @@ def parallel_map(function: Callable[..., Any], tasks: Sequence[Any], *,
     calling thread, so serial execution never pays pool overhead and the
     parallel code path stays the *only* code path in partitioned callers.
 
+    Every task is a cancellation checkpoint: the caller's installed
+    :class:`~repro.core.cancel.CancellationToken` is polled before each
+    task body (and carried into pool threads, where ``contextvars`` would
+    otherwise not follow), so a tripped deadline stops the fan-out at the
+    next partition boundary on both the serial and the pooled path.
+
     Exceptions propagate to the caller exactly as in the serial loop (the
     first failing task's exception, by task order).
     """
     if workers <= 1 or len(tasks) <= 1:
-        return [function(*task) for task in tasks]
+        results = []
+        for task in tasks:
+            checkpoint()
+            results.append(function(*task))
+        return results
+    token = current_token.get()
+
+    def run_task(task: tuple) -> Any:
+        with cancel_scope(token):
+            checkpoint()
+            return function(*task)
+
     pool = get_pool(workers)
-    futures = [pool.submit(function, *task) for task in tasks]
+    futures = [pool.submit(run_task, task) for task in tasks]
     return [future.result() for future in futures]

@@ -36,6 +36,7 @@ from typing import Any, Mapping, Sequence
 from ...index.kindex import KIndex, QueryStatistics
 from ...index.scan import SequentialScan
 from ...timeseries.transforms import SpectralTransformation
+from ..cancel import checkpoint
 from ..database import Database, DistanceProvider, Relation
 from ..errors import QueryPlanningError
 from ..parallel import resolve_workers
@@ -244,6 +245,7 @@ class QueryEngine:
                                              outcomes)
             else:
                 for index in members:
+                    checkpoint()
                     started = time.perf_counter()
                     outcome = self._run(plans[index], nodes[index],
                                         self.transformation(nodes[index].transformation),
@@ -462,6 +464,7 @@ class QueryEngine:
         if isinstance(plan, EngineJoinPlan):
             pairs: list[tuple[Any, Any, float]] = []
             for i, left in enumerate(objects):
+                checkpoint()
                 for right in objects[i + 1:]:
                     statistics.postprocessed += 1
                     distance = float(provider.distance(left, right))
@@ -472,6 +475,7 @@ class QueryEngine:
         query_obj = self._parameter(node.parameter, parameters)
         scored: list[tuple[Any, float]] = []
         for obj in objects:
+            checkpoint()
             statistics.postprocessed += 1
             scored.append((obj, float(provider.distance(obj, query_obj))))
         scored.sort(key=lambda pair: pair[1])
@@ -514,6 +518,7 @@ class QueryEngine:
             statistics.candidates = len(candidates)
         answers: list[tuple[Any, float]] = []
         for obj in candidates:
+            checkpoint()
             rules = provider.rules_for(obj, query_obj)
             engine = SimilarityEngine(
                 rules, provider.distance,

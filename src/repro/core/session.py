@@ -45,7 +45,7 @@ from ..timeseries.transforms import SpectralTransformation
 from .advisor import (IndexAdvisor, IndexRecommendation, WorkloadProfile,
                       apply_recommendation, reset_advisor_configuration)
 from .database import Database, DistanceProvider, Relation, Row
-from .errors import CatalogError, QueryPlanningError
+from .errors import CatalogError, QueryPlanningError, SessionClosedError
 from .objects import DataObject
 from .query.ast import Query
 from .query.executor import QueryEngine, QueryOutcome
@@ -107,6 +107,7 @@ class RelationHandle:
         and recreated under the same name) would write into an orphaned
         object — or worse, desynchronise the new relation's indexes — so it
         is rejected instead."""
+        self._session._check_open()
         database = self._session.database
         if self.name not in database \
                 or database.relation(self.name) is not self.relation:
@@ -251,6 +252,7 @@ class PreparedQuery:
 
     def plan(self) -> Plan:
         """The plan the next ``run`` will execute (through the plan cache)."""
+        self._session._check_open()
         return self._session.engine.plan(self.query)
 
     def explain(self) -> str:
@@ -265,6 +267,7 @@ class PreparedQuery:
     def run(self, parameters: Mapping[str, Any] | None = None,
             **keyword_parameters: Any) -> QueryOutcome:
         """Execute once with the given parameters."""
+        self._session._check_open()
         merged = _merge_parameters(parameters, keyword_parameters)
         return self._session.engine.execute(self.query, merged)
 
@@ -272,6 +275,7 @@ class PreparedQuery:
                  ) -> list[QueryOutcome]:
         """Execute once per binding, as one batch (shared traversals,
         shared plan, per-binding answer-cache probes)."""
+        self._session._check_open()
         if isinstance(bindings, Mapping):
             raise QueryPlanningError(
                 "run_many takes a sequence of binding mappings (one per "
@@ -340,6 +344,7 @@ class Session:
             database = DurableDatabase(path, wal_sync=wal_sync,
                                        buffer_pages=buffer_pages)
         self.database = database if database is not None else Database()
+        self._closed = False
         #: The underlying engine — the compat escape hatch; everything the
         #: session runs goes through it (and through its caches).
         self.engine = QueryEngine(self.database, transformations,
@@ -348,11 +353,27 @@ class Session:
                                   answer_cache_bytes=answer_cache_bytes,
                                   workers=workers)
 
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed session rejects all use)."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Every public entry point calls this first: using a closed session
+        must fail with one typed, catchable error — not with whatever
+        attribute error the first dead resource happens to produce."""
+        if self._closed:
+            raise SessionClosedError(
+                f"session over {self.database.name!r} is closed; open a new "
+                "one with repro.connect(...)")
+
     # -- catalog -----------------------------------------------------------
     def relation(self, name: str,
                  rows: Iterable[Row | DataObject] = ()) -> RelationHandle:
         """A chainable handle on the named relation, creating it (with the
         optional initial ``rows``) when the catalog does not have it yet."""
+        self._check_open()
         if name in self.database:
             handle = RelationHandle(self, self.database.relation(name))
             if rows:
@@ -362,11 +383,13 @@ class Session:
 
     def drop_relation(self, name: str) -> None:
         """Drop a relation, its indexes, its provider and engine-side state."""
+        self._check_open()
         self.engine.drop_relation(name)
 
     def with_transformation(self, name: str,
                             transformation: SpectralTransformation) -> Session:
         """Register a ``USING``-clause transformation; chainable."""
+        self._check_open()
         self.engine.register_transformation(name, transformation)
         return self
 
@@ -382,6 +405,7 @@ class Session:
         plan; ``analyze`` exists to *refresh* them after the data changed
         shape, and to do the sampling at a moment of the caller's choosing.)
         """
+        self._check_open()
         return self.database.analyze(relation_name)
 
     def advise(self, relation_name: str, workload: Any) -> IndexRecommendation:
@@ -395,6 +419,7 @@ class Session:
         against the profile; nothing is installed.  See
         :meth:`autotune` for the mutating variant.
         """
+        self._check_open()
         profile = workload.profile() if hasattr(workload, "profile") else workload
         if not isinstance(profile, WorkloadProfile):
             raise CatalogError(
@@ -423,6 +448,7 @@ class Session:
             **keyword_parameters: Any) -> QueryOutcome:
         """Parse, plan and run one query (text, AST node or ``Q`` builder);
         parameters go in a mapping, as keywords, or both."""
+        self._check_open()
         return self.engine.execute(query,
                                    _merge_parameters(parameters, keyword_parameters))
 
@@ -430,10 +456,12 @@ class Session:
                  parameters: Sequence[Mapping[str, Any] | None]
                  | Mapping[str, Any] | None = None) -> list[QueryOutcome]:
         """Run a batch of queries through the engine's batched executor."""
+        self._check_open()
         return self.engine.execute_many(queries, parameters)
 
     def prepare(self, query: str | Query | Any) -> PreparedQuery:
         """Parse now; plan lazily, at most once per catalog state."""
+        self._check_open()
         return PreparedQuery(self, query)
 
     def explain(self, query: str | Query | PreparedQuery | Any) -> str:
@@ -444,6 +472,7 @@ class Session:
         line per rejected alternative.  Pass an executed
         :class:`~repro.core.query.executor.QueryOutcome` to additionally
         render the *measured* cost next to the estimate."""
+        self._check_open()
         if isinstance(query, QueryOutcome):
             return explain_plan(query.plan, statistics=query.statistics)
         if isinstance(query, (PreparedQuery, BoundQuery)):
@@ -471,6 +500,7 @@ class Session:
         segments and serialized index pages, atomically swap the manifest.
         After a checkpoint, reopening skips both WAL replay and index
         rebuilds.  A no-op for in-memory sessions."""
+        self._check_open()
         checkpoint = getattr(self.database, "checkpoint", None)
         if checkpoint is not None:
             checkpoint()
@@ -479,9 +509,14 @@ class Session:
             self.engine.invalidate_scans()
 
     def close(self) -> None:
-        """Flush and close a durable database's write-ahead log (without
-        checkpointing).  A no-op for in-memory sessions; the session object
-        must not be used afterwards."""
+        """Close the session: flush and close a durable database's
+        write-ahead log (without checkpointing); in-memory sessions just
+        flip to closed.  The session must not be used afterwards — every
+        entry point (including a second ``close``) raises
+        :class:`~repro.core.errors.SessionClosedError`, because a double
+        close means two owners each believe the session is theirs."""
+        self._check_open()
+        self._closed = True
         close = getattr(self.database, "close", None)
         if close is not None:
             close()

@@ -49,6 +49,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..core.cancel import checkpoint
 from ..core.parallel import parallel_map, resolve_workers
 from ..storage.columnar import (
     ColumnarRecordStore,
@@ -345,6 +346,9 @@ class SequentialScan:
                 each anchor swept against its *global* suffix."""
                 found: list[tuple[int, int, float]] = []
                 for anchor in range(first, min(last, count - 1)):
+                    # Joins are quadratic; one block holds many anchors, so
+                    # the cancellation seam must be finer than the block.
+                    checkpoint()
                     anchor_record = (coefficients[anchor, :int(lengths[anchor])],
                                      float(means[anchor]), float(stds[anchor]))
                     suffix = slice(anchor + 1, count)

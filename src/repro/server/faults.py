@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the wire protocol and commit path.
+
+Robustness claims are only as good as the failures they were tested
+against, and failures found by chance do not reproduce.  A
+:class:`FaultPlan` makes every injected failure *scheduled*: faults fire
+on exact outgoing-frame indexes (drop the 3rd frame, corrupt the 5th,
+stall after the 7th) and exact commit ordinals (kill the server after the
+2nd write lands in the WAL but before its acknowledgement is sent), so a
+failing fault test replays bit-for-bit.
+
+The same plan object threads through both transport ends — the server
+wraps its response stream and the client its request stream in a
+:class:`FrameFaults` schedule — and through the server's commit path for
+the kill points.  Frame counters are per connection and per direction
+(each connection sees its own deterministic schedule); the commit counter
+is plan-global because "the Nth acknowledged write" is a server-wide
+ordinal.
+
+The invariants every plan must leave intact, enforced by the fault suite:
+a failure injected anywhere leaves the store recoverable, and every
+*acknowledged* write is visible after reopening it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["FaultPlan", "FrameFaults", "ServerKilled", "corrupt_frame"]
+
+
+class ServerKilled(BaseException):
+    """Raised inside the server when a kill point fires.
+
+    A ``BaseException`` on purpose: kill points simulate the process
+    dying, so no ``except Exception`` handler on the request path may
+    swallow one and "survive" a death the test scheduled.
+    """
+
+
+def corrupt_frame(frame: bytes) -> bytes:
+    """Flip one bit in the last payload byte of an encoded frame.
+
+    The header (and its CRC field) is left alone: the interesting failure
+    is a payload that no longer matches its checksum, which the receiver
+    must detect and refuse — not a mangled length that merely desyncs.
+    """
+    if not frame:
+        return frame
+    return frame[:-1] + bytes([frame[-1] ^ 0x01])
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of transport and commit-path failures.
+
+    Frame indexes are 0-based per connection and per direction, counting
+    every frame the faulted end *would* send.  All schedules default to
+    empty — a blank plan injects nothing and is safe to leave installed.
+
+    drop_frames:
+        Outgoing frame indexes to silently discard (the peer waits and
+        times out — a lost packet).
+    corrupt_frames:
+        Outgoing frame indexes to send with a flipped payload bit (the
+        peer's CRC check must reject them).
+    truncate_frames:
+        Outgoing frame indexes to tear: send only the first half of the
+        encoded frame, then drop the connection — a crash mid-``write``.
+    delay_frames:
+        Mapping of frame index to seconds of added latency before the
+        frame is sent intact.
+    stall_after_frames:
+        Once this many frames were sent, stop transmitting entirely while
+        keeping the connection open — a reader stalled mid-stream.  The
+        peer's only way out is its own timeout.
+    kill_after_commits:
+        Kill the server process (abruptly: no checkpoint, no close, no
+        acknowledgement) immediately after the Nth write commits to the
+        WAL.  1-based: ``1`` dies after the first commit.  The window it
+        exercises is exactly the ambiguous one — the write is durable but
+        the client never hears so.
+    """
+
+    drop_frames: tuple[int, ...] = ()
+    corrupt_frames: tuple[int, ...] = ()
+    truncate_frames: tuple[int, ...] = ()
+    delay_frames: Mapping[int, float] = field(default_factory=dict)
+    stall_after_frames: int | None = None
+    kill_after_commits: int | None = None
+
+    def __post_init__(self) -> None:
+        self._commit_lock = threading.Lock()
+        self._commits = 0
+
+    # ------------------------------------------------------------------
+    # commit-path kill points
+    # ------------------------------------------------------------------
+    def commit_landed(self) -> None:
+        """Record one committed write; raise :class:`ServerKilled` when the
+        schedule says the process dies here (post-WAL, pre-ack)."""
+        if self.kill_after_commits is None:
+            return
+        with self._commit_lock:
+            self._commits += 1
+            fire = self._commits == self.kill_after_commits
+        if fire:
+            raise ServerKilled(
+                f"fault plan killed the server after commit #{self._commits}")
+
+    @property
+    def commits_seen(self) -> int:
+        return self._commits
+
+    # ------------------------------------------------------------------
+    # per-connection transport schedules
+    # ------------------------------------------------------------------
+    def frame_faults(self) -> "FrameFaults":
+        """A fresh per-connection, per-direction frame-fault schedule."""
+        return FrameFaults(self)
+
+    @property
+    def touches_frames(self) -> bool:
+        return bool(self.drop_frames or self.corrupt_frames
+                    or self.truncate_frames or self.delay_frames
+                    or self.stall_after_frames is not None)
+
+
+class FrameFaults:
+    """Counts outgoing frames on one stream and says what to do with each.
+
+    Not thread-safe by design — a stream has exactly one writer (the
+    server's per-connection task, or the client's request loop).
+    """
+
+    PASS = "pass"
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    TRUNCATE = "truncate"
+    STALL = "stall"
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._index = 0
+        self._stalled = False
+
+    def next_action(self) -> tuple[str, float]:
+        """The (action, delay_seconds) for the next outgoing frame.
+
+        Advances the frame counter — call exactly once per frame the
+        sender is about to emit.
+        """
+        plan = self._plan
+        index = self._index
+        self._index += 1
+        if self._stalled or (plan.stall_after_frames is not None
+                             and index >= plan.stall_after_frames):
+            self._stalled = True
+            return self.STALL, 0.0
+        delay = float(plan.delay_frames.get(index, 0.0))
+        if index in plan.drop_frames:
+            return self.DROP, delay
+        if index in plan.truncate_frames:
+            return self.TRUNCATE, delay
+        if index in plan.corrupt_frames:
+            return self.CORRUPT, delay
+        return self.PASS, delay
+
+    @property
+    def frames_seen(self) -> int:
+        return self._index

@@ -1,0 +1,237 @@
+"""The wire protocol: length-prefixed, CRC-framed JSON messages.
+
+Framing is the same shape the write-ahead log uses (deliberately — one
+torn-frame discipline across the system)::
+
+    [u32 payload length][u32 crc32(payload)][payload: UTF-8 JSON]
+
+Little-endian header, JSON body.  JSON round-trips floats bit-exactly
+(``json.dumps`` serialises through ``repr``), which the snapshot-read
+bit-identity guarantee leans on: a distance that crosses the wire decodes
+to the very float the executor computed.  The CRC makes torn and corrupted
+frames *detectable* instead of silently poisonous: a frame whose checksum
+does not verify raises :class:`~repro.core.errors.ProtocolError` at the
+receiving end, never yields a half-decoded message.
+
+Both transport ends live here: the asyncio reader/writer used by the
+server and the blocking-socket reader used by the synchronous client.
+Object payloads (query parameters, inserted rows, answers) reuse the
+durable layer's JSON object codec, so a series means the same bytes in the
+WAL, in a segment, and on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import zlib
+from typing import Any, Mapping
+
+from ..core.errors import ProtocolError
+from ..core.objects import DataObject
+from ..storage.durable.segments import decode_object, encode_object
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_frame_async",
+    "recv_frame",
+    "send_frame",
+    "encode_param",
+    "decode_param",
+    "encode_answer",
+    "decode_answer",
+    "ObjectRef",
+]
+
+#: Frame header: little-endian (payload length, crc32 of payload).
+_HEADER = struct.Struct("<II")
+
+#: Default upper bound on one frame's payload — a malformed or hostile
+#: length prefix must not make the receiver allocate unbounded memory.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """One message as a complete wire frame (header + JSON payload)."""
+    try:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"message is not JSON-serialisable: {error}") from error
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(header: bytes, payload: bytes) -> dict[str, Any]:
+    length, checksum = _HEADER.unpack(header)
+    if zlib.crc32(payload) != checksum:
+        raise ProtocolError("frame checksum mismatch (corrupt or torn frame)")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+async def read_frame_async(reader: asyncio.StreamReader, *,
+                           max_bytes: int = MAX_FRAME_BYTES,
+                           idle_timeout: float | None = None,
+                           frame_timeout: float | None = None
+                           ) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF *between* frames (the peer hung up at a
+    message boundary).  EOF inside a frame, a length overrunning
+    ``max_bytes``, a checksum mismatch or bad JSON raise
+    :class:`ProtocolError`.  ``idle_timeout`` bounds the wait for the first
+    header byte (an idle connection); ``frame_timeout`` bounds the rest of
+    the frame once the header started arriving (a stalled or torn send) —
+    both surface as :class:`asyncio.TimeoutError` for the caller to map to
+    its close policy.
+    """
+    try:
+        header = await asyncio.wait_for(reader.readexactly(_HEADER.size),
+                                        timeout=idle_timeout)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF at a frame boundary
+        raise ProtocolError("connection closed mid-header") from error
+    length, _ = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {max_bytes}-byte limit")
+    try:
+        payload = await asyncio.wait_for(reader.readexactly(length),
+                                         timeout=frame_timeout)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    return _decode_payload(header, payload)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(
+                "connection closed mid-frame" if len(chunks) or count != remaining
+                else "connection closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, *,
+               max_bytes: int = MAX_FRAME_BYTES) -> dict[str, Any]:
+    """Read one frame from a blocking socket (the client side).
+
+    A clean EOF before any header byte raises
+    :class:`~repro.core.errors.ProtocolError` too: the synchronous client
+    only reads when it expects a response, so *any* hangup there is a lost
+    reply, never a normal shutdown.
+    """
+    first = sock.recv(1)
+    if not first:
+        raise ProtocolError("connection closed before a response arrived")
+    header = first + _recv_exactly(sock, _HEADER.size - 1)
+    length, _ = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {max_bytes}-byte limit")
+    payload = _recv_exactly(sock, length)
+    return _decode_payload(header, payload)
+
+
+def send_frame(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Encode and send one message over a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+# ----------------------------------------------------------------------
+# object payloads
+# ----------------------------------------------------------------------
+class ObjectRef(tuple):
+    """A lightweight (object_id, name) reference to a stored object.
+
+    Answers cross the wire as references, not full objects — the caller
+    already knows (or can fetch) the data; what a query result identifies
+    is *which* rows matched and how far they were.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, object_id: int, name: str | None) -> "ObjectRef":
+        return tuple.__new__(cls, (object_id, name))
+
+    @property
+    def object_id(self) -> int:
+        return self[0]
+
+    @property
+    def name(self) -> str | None:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return f"ObjectRef(id={self[0]}, name={self[1]!r})"
+
+
+def encode_param(value: Any) -> Any:
+    """A query parameter (or inserted row) as a JSON-safe payload.
+
+    Data objects go through the durable layer's codec; JSON scalars pass
+    through untouched (wrapped so a dict-valued scalar cannot be mistaken
+    for an encoded object).
+    """
+    if isinstance(value, DataObject):
+        return {"_obj": encode_object(value)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ProtocolError(
+        f"cannot send a {type(value).__name__} as a query parameter; "
+        "supported: data objects and JSON scalars")
+
+
+def decode_param(payload: Any, *, fresh_id: bool = False) -> Any:
+    """Invert :func:`encode_param`.
+
+    ``fresh_id=True`` drops the sender's object id so the receiving
+    catalog allocates its own — inserted rows must never collide with ids
+    the server already handed out, while query parameters keep theirs
+    (they are transient and never stored).
+    """
+    if isinstance(payload, dict) and "_obj" in payload:
+        record = dict(payload["_obj"])
+        if fresh_id:
+            record["id"] = None
+        return decode_object(record)
+    return payload
+
+
+def encode_answer(answer: tuple) -> dict[str, Any]:
+    """One answer tuple — (object, distance) or (left, right, distance) —
+    as references plus the exact float distance."""
+    if len(answer) == 3:
+        left, right, distance = answer
+        return {"l": [left.object_id, left.name],
+                "r": [right.object_id, right.name], "d": float(distance)}
+    obj, distance = answer
+    return {"o": [obj.object_id, obj.name], "d": float(distance)}
+
+
+def decode_answer(payload: dict[str, Any]) -> tuple:
+    """Invert :func:`encode_answer` into reference tuples."""
+    if "l" in payload:
+        return (ObjectRef(*payload["l"]), ObjectRef(*payload["r"]),
+                payload["d"])
+    return (ObjectRef(*payload["o"]), payload["d"])

@@ -127,7 +127,8 @@ class DurableDatabase(Database):
     """
 
     def __init__(self, path: str, *, wal_sync: str = "batch",
-                 wal_batch_size: int = 32, buffer_pages: int = 256,
+                 wal_batch_size: int = 32, wal_batch_interval_ms: float = 50.0,
+                 buffer_pages: int = 256,
                  partition_rows: int = DEFAULT_PARTITION_ROWS,
                  name: str | None = None) -> None:
         resolved = os.path.abspath(path)
@@ -135,6 +136,7 @@ class DurableDatabase(Database):
         self.path = resolved
         self.wal_sync = wal_sync
         self.wal_batch_size = int(wal_batch_size)
+        self.wal_batch_interval_ms = float(wal_batch_interval_ms)
         self.buffer_pages = max(1, int(buffer_pages))
         self.partition_rows = max(1, int(partition_rows))
         self._replaying = False
@@ -159,7 +161,8 @@ class DurableDatabase(Database):
             self._recover(manifest)
         self._wal = WriteAheadLog(
             os.path.join(self.path, wal_filename(self._epoch)),
-            sync=self.wal_sync, batch_size=self.wal_batch_size)
+            sync=self.wal_sync, batch_size=self.wal_batch_size,
+            batch_interval_ms=self.wal_batch_interval_ms)
 
     # ------------------------------------------------------------------
     # logging
@@ -292,7 +295,8 @@ class DurableDatabase(Database):
         old_wal = self._wal
         self._epoch = new_epoch
         self._wal = WriteAheadLog(new_wal_path, sync=self.wal_sync,
-                                  batch_size=self.wal_batch_size)
+                                  batch_size=self.wal_batch_size,
+                                  batch_interval_ms=self.wal_batch_interval_ms)
         if old_wal is not None:
             old_wal.close()
             self._remove_quietly(old_wal.path)

@@ -20,39 +20,51 @@ import repro
 from repro import BoundQuery, PreparedQuery, Q, RelationHandle, Session, connect
 
 EXPECTED_ALL = [
-    "AdditiveCostModel", "AllPairsQuery", "AnyPattern", "BoundQuery",
-    "BufferPool", "CatalogError", "ColumnSegment", "ColumnarRecordStore",
-    "ComposedTransformation", "ConstantPattern",
+    "AdditiveCostModel", "AllPairsQuery", "AnyPattern", "BackoffPolicy",
+    "BoundQuery",
+    "BufferPool", "CancellationToken", "CatalogError", "ColumnSegment",
+    "ColumnarRecordStore",
+    "ComposedTransformation", "ConnectionLostError", "ConstantPattern",
     "CostBudget", "CostEstimate", "CostExceededError", "DataObject",
-    "Database", "DimensionMismatchError", "DistanceHistogram",
-    "DistanceProvider", "DurableDatabase", "FeatureVector",
+    "Database", "DeadlineExceededError", "DimensionMismatchError",
+    "DistanceHistogram",
+    "DistanceProvider", "DurableDatabase", "FaultPlan", "FeatureVector",
     "FunctionTransformation", "GenericObject", "IdentityTransformation",
     "IndexAdvisor", "IndexRecommendation",
     "KIndex", "LinearTransformation", "MaxCostModel", "MetricIndex",
     "MovingAverageTransform", "NearestNeighborQuery", "NearestNeighborResult",
+    "ObjectRef",
     "PageStore", "Param", "PartitionedIndex", "PartitionedMetricIndex",
     "Pattern", "PatternError", "Planner", "PolarSpace",
-    "PredicatePattern", "PreparedQuery", "Q", "QueryBuildError", "QueryBuilder",
+    "PredicatePattern", "PreparedQuery", "ProtocolError", "Q",
+    "QueryBuildError", "QueryBuilder",
+    "QueryCancelledError",
     "QueryCostModel", "QueryEngine", "QueryOutcome", "QueryPlanningError",
-    "QuerySyntaxError",
+    "QueryServer", "QuerySyntaxError",
     "RStarTree", "RTree", "RangeQuery", "RangeQueryResult",
     "RealLinearTransformation", "Rect", "RectangularSpace", "RejectedPlan",
     "Relation", "RelationHandle", "RelationPattern", "RelationStatistics",
-    "ReproError", "ReverseTransform",
+    "RemoteCursor", "RemoteOutcome", "RemoteStatement",
+    "ReproError", "RetryExhaustedError", "RetryLaterError",
+    "ReverseTransform",
     "Row", "ScaleTransform", "SegmentPageStore", "SequentialScan",
-    "SeriesFeatureExtractor",
-    "Session", "ShiftTransform", "SimilarityEngine", "SimilarityQuery",
+    "SeriesFeatureExtractor", "ServerClient", "ServerConfig", "ServerError",
+    "ServerHandle",
+    "Session", "SessionClosedError", "ShiftTransform", "SimilarityEngine",
+    "SimilarityQuery",
     "SpectralTransformation", "StockArchiveConfig", "StringObject",
     "TimeSeries", "TimeWarpTransform", "Transformation",
     "TransformationRuleSet", "TransformedPattern", "UnsafeTransformationError",
     "WorkloadProfile", "WriteAheadLog",
-    "__version__", "city_block", "connect", "dft", "dtw_distance",
+    "__version__", "cancel_scope", "cancellation_checkpoint", "city_block",
+    "client", "connect", "dft", "dtw_distance",
     "edit_distance_provider", "euclidean", "euclidean_with_early_abandon",
     "explain", "identity_spectral", "inverse_dft", "is_similar",
     "make_stock_archive", "materialize_transformed_tree", "mindist",
     "minmaxdist", "moving_average_spectral", "noisy_copy", "normalize",
     "normalized_euclidean", "opposite_copy", "parse_query", "random_walk",
     "random_walk_collection", "reverse_spectral", "scale_spectral",
+    "serve",
     "shift_spectral", "time_warp_linear", "transformation_distance",
     "transformation_edit_distance", "transformed_join",
     "transformed_nearest_neighbors", "transformed_range_search",

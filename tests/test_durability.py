@@ -415,3 +415,99 @@ class TestCheckpointHousekeeping:
         session.checkpoint()
         assert not os.listdir(os.path.join(path, "segments", "walks"))
         session.close()
+
+
+class TestWalTimeBound:
+    """``batch`` mode's durability window is bounded in time, not only in
+    record count: a lone acknowledged insert is flushed once it is
+    ``batch_interval_ms`` old, instead of waiting for 31 siblings."""
+
+    def _wal(self, tmp_path, clock, **kwargs):
+        kwargs.setdefault("sync", "batch")
+        kwargs.setdefault("batch_size", 32)
+        kwargs.setdefault("batch_interval_ms", 50.0)
+        return WriteAheadLog(str(tmp_path / "wal.log"), clock=clock,
+                             start_timer=False, **kwargs)
+
+    def test_young_record_is_not_flushed_early(self, tmp_path):
+        clock = [0.0]
+        wal = self._wal(tmp_path, lambda: clock[0])
+        wal.append({"op": "x"})
+        clock[0] = 0.049  # 49 ms: inside the window
+        assert wal.maybe_flush() is False
+        assert wal.interval_flushes == 0
+        wal.close()
+
+    def test_aged_record_is_flushed_by_the_time_bound(self, tmp_path):
+        clock = [0.0]
+        wal = self._wal(tmp_path, lambda: clock[0])
+        wal.append({"op": "x"})
+        clock[0] = 0.050  # exactly the bound
+        assert wal.maybe_flush() is True
+        assert wal.interval_flushes == 1
+        # The record is on disk: replay of the live file sees it.
+        assert WriteAheadLog.replay(wal.path) == [{"op": "x"}]
+        assert wal.maybe_flush() is False  # nothing pending any more
+        wal.close()
+
+    def test_window_starts_at_the_oldest_pending_record(self, tmp_path):
+        clock = [0.0]
+        wal = self._wal(tmp_path, lambda: clock[0])
+        wal.append({"op": "first"})
+        clock[0] = 0.030
+        wal.append({"op": "second"})  # must not reset the window
+        clock[0] = 0.051  # first is 51 ms old, second only 21 ms
+        assert wal.maybe_flush() is True
+        assert WriteAheadLog.replay(wal.path) == [{"op": "first"},
+                                                  {"op": "second"}]
+        wal.close()
+
+    def test_count_bound_still_flushes_first_when_hit(self, tmp_path):
+        clock = [0.0]
+        wal = self._wal(tmp_path, lambda: clock[0], batch_size=2)
+        wal.append({"op": "a"})
+        wal.append({"op": "b"})  # batch full: flushed by count at t=0
+        assert wal.interval_flushes == 0
+        clock[0] = 1.0
+        assert wal.maybe_flush() is False
+        wal.close()
+
+    def test_always_mode_never_needs_the_timer(self, tmp_path):
+        clock = [0.0]
+        wal = self._wal(tmp_path, lambda: clock[0], sync="always")
+        wal.append({"op": "x"})
+        clock[0] = 10.0
+        assert wal.maybe_flush() is False  # flushed at append already
+        assert wal.interval_flushes == 0
+        wal.close()
+
+    def test_zero_interval_disables_the_time_bound(self, tmp_path):
+        clock = [0.0]
+        wal = self._wal(tmp_path, lambda: clock[0], batch_interval_ms=0.0)
+        wal.append({"op": "x"})
+        clock[0] = 100.0
+        assert wal.maybe_flush() is False  # count-only batching
+        wal.close()
+
+    def test_background_timer_flushes_a_lone_insert(self, tmp_path):
+        import time as _time
+        wal = WriteAheadLog(str(tmp_path / "timer.log"), sync="batch",
+                            batch_size=32, batch_interval_ms=20.0)
+        wal.append({"op": "lone"})
+        deadline = _time.monotonic() + 5.0
+        while _time.monotonic() < deadline:
+            if wal.interval_flushes >= 1:
+                break
+            _time.sleep(0.005)
+        assert wal.interval_flushes >= 1
+        assert WriteAheadLog.replay(wal.path) == [{"op": "lone"}]
+        wal.close()
+
+    def test_interval_knob_reaches_the_durable_engine(self, tmp_path):
+        database = DurableDatabase(str(tmp_path / "db"),
+                                   wal_batch_interval_ms=125.0)
+        assert database.wal_batch_interval_ms == 125.0
+        assert database._wal.batch_interval_ms == 125.0
+        database.checkpoint()  # the next epoch's log keeps the knob
+        assert database._wal.batch_interval_ms == 125.0
+        database.close()

@@ -15,6 +15,7 @@ from repro import (
     QueryPlanningError,
     SeriesFeatureExtractor,
     Session,
+    SessionClosedError,
     StringObject,
     connect,
     moving_average_spectral,
@@ -367,3 +368,54 @@ class TestDomainGeneric:
             Q.from_("words").similar_to(Q.param("q"), epsilon=0.5, cost=2.0),
             q=StringObject("pattern"))
         assert any(obj.text == "patter" for obj, _ in sim.answers)
+
+
+class TestClosedSessionLifecycle:
+    """A closed session rejects all use with one typed error — including a
+    second close, which means two owners both believe the session is
+    theirs."""
+
+    def test_double_close_raises(self):
+        session = connect()
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.close()
+
+    def test_every_entry_point_rejects_after_close(self):
+        session = connect()
+        session.relation("walks").insert_many(random_walk_collection(4, 16, seed=1))
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.sql("SELECT FROM walks WHERE dist(series, $q) < 1.0")
+        with pytest.raises(SessionClosedError):
+            session.relation("walks")
+        with pytest.raises(SessionClosedError):
+            session.prepare("SELECT FROM walks WHERE dist(series, $q) < 1.0")
+        with pytest.raises(SessionClosedError):
+            session.explain("SELECT FROM walks WHERE dist(series, $q) < 1.0")
+        with pytest.raises(SessionClosedError):
+            session.checkpoint()
+        with pytest.raises(SessionClosedError):
+            session.analyze("walks")
+
+    def test_prepared_statement_dies_with_its_session(self):
+        session = connect()
+        session.relation("walks").insert_many(random_walk_collection(4, 16, seed=2))
+        prepared = session.prepare("SELECT FROM walks WHERE dist(series, $q) < 1.0")
+        session.close()
+        with pytest.raises(SessionClosedError):
+            prepared.run(q=random_walk_collection(1, 16, seed=3)[0])
+        with pytest.raises(SessionClosedError):
+            prepared.plan()
+
+    def test_relation_handle_dies_with_its_session(self):
+        session = connect()
+        handle = session.relation("walks")
+        session.close()
+        with pytest.raises(SessionClosedError):
+            handle.insert_many(random_walk_collection(2, 16, seed=4))
+
+    def test_context_manager_still_closes_exactly_once(self):
+        with connect() as session:
+            session.relation("walks")
+        assert session.closed
